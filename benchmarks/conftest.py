@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper, saves the
+rendered text artifact under ``benchmarks/results/``, and asserts the
+shape claims that artifact is supposed to exhibit.  pytest-benchmark
+records the wall-clock cost of regenerating the artifact; the numbers
+*inside* the artifact are simulated time and are what EXPERIMENTS.md
+reports.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_artifact(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)

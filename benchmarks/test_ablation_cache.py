@@ -1,0 +1,27 @@
+"""Ablation A3: buffer cache size sensitivity.
+
+Cold-phase results should be insensitive to cache size (each phase
+starts cold and touches each file once), confirming that the measured
+wins come from on-disk layout rather than caching artifacts.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.bench import ablation_cache_size
+
+CACHE_BLOCKS = (256, 1024, 4096)
+
+
+def test_ablation_cache(benchmark):
+    out = benchmark.pedantic(
+        ablation_cache_size,
+        kwargs={"cache_blocks": CACHE_BLOCKS, "n_files": 3000},
+        rounds=1, iterations=1,
+    )
+    save_artifact("ablation_cache_size", out.text)
+    reads = out.data["read"]
+    for label, series in reads.items():
+        lo, hi = min(series), max(series)
+        assert hi <= 1.5 * lo, (label, series)
+    # The layout gap persists at every cache size.
+    for i in range(len(CACHE_BLOCKS)):
+        assert reads["cffs"][i] > 3.0 * reads["conventional"][i]

@@ -1,0 +1,29 @@
+"""Ablation A2: the directory-size cost of embedding (paper §3,
+"Directory sizes").
+
+Embedded entries are ~5x the size of external references, so full
+directory scans read more blocks.  The paper argues the cost is
+acceptable; this measures it.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.bench import ablation_embed_dirsize
+
+COUNTS = (100, 400, 1600)
+
+
+def test_ablation_embed(benchmark):
+    out = benchmark.pedantic(
+        ablation_embed_dirsize, kwargs={"entry_counts": COUNTS},
+        rounds=1, iterations=1,
+    )
+    save_artifact("ablation_embed_dirsize", out.text)
+    blocks = out.data["dir_blocks"]
+    times = out.data["scan_times"]
+
+    # Embedded directories are several times larger...
+    assert blocks["embedded"][-1] >= 3 * blocks["external"][-1]
+    # ...and cold full scans cost more, but not catastrophically
+    # (the blocks are contiguous, so the scan streams).
+    assert times["embedded"][-1] > times["external"][-1]
+    assert times["embedded"][-1] < 10 * times["external"][-1]

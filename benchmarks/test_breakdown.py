@@ -1,0 +1,30 @@
+"""Supplementary experiment: disk time breakdown.
+
+The Section 2 mechanism, measured: conventional small-file activity is
+positioning-dominated; C-FFS converts the budget into transfer.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.bench import breakdown_read_time
+
+
+def test_breakdown(benchmark):
+    out = benchmark.pedantic(
+        breakdown_read_time, kwargs={"n_files": 4000}, rounds=1, iterations=1
+    )
+    save_artifact("breakdown_time", out.text)
+    rows = out.data["rows"]
+
+    def positioning_share(row):
+        positioning = row["seek"] + row["rotation"]
+        total = positioning + row["transfer"] + row["overhead"]
+        return positioning / total
+
+    conv = rows["conventional"]
+    cffs = rows["cffs"]
+    # Conventional: mostly positioning.  C-FFS: mostly not.
+    assert positioning_share(conv) > 0.55, positioning_share(conv)
+    assert positioning_share(cffs) < positioning_share(conv) - 0.15
+    # C-FFS moves at least as many media bytes per useful byte — the
+    # win is *not* from transferring less, it is from positioning less.
+    assert cffs["transfer"] > 0.5 * conv["transfer"]

@@ -1,0 +1,30 @@
+"""Figure 2: average access time as a function of request size.
+
+The motivation figure: per-request positioning dominates until requests
+reach ~100 KB, so an order-of-magnitude larger transfer is nearly free
+— which is exactly the budget explicit grouping spends.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.bench import fig2_access_time
+
+SIZES_KB = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def test_fig2(benchmark):
+    out = benchmark.pedantic(
+        fig2_access_time, kwargs={"sizes_kb": SIZES_KB, "samples": 150},
+        rounds=1, iterations=1,
+    )
+    save_artifact("fig2_access_time", out.text)
+    for drive, avgs in out.data["averages_ms"].items():
+        by_size = dict(zip(SIZES_KB, avgs))
+        # Small-request access times sit in the positioning regime.
+        assert 8.0 < by_size[1] < 25.0, drive
+        # 64x the data for less than 3x the time.
+        assert by_size[64] < 3.0 * by_size[1], drive
+        # The curve is eventually transfer-dominated.
+        assert by_size[1024] > 3.0 * by_size[64], drive
+        # Monotone non-decreasing in request size (small sampling
+        # wobble tolerated — each point draws fresh random positions).
+        assert all(b >= a * 0.95 for a, b in zip(avgs, avgs[1:])), drive

@@ -1,0 +1,38 @@
+"""Figure 7: throughput as a function of file size.
+
+C-FFS's advantage is largest for the smallest files and narrows as
+files grow toward (and past) the grouping threshold, where both systems
+stream large transfers.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.bench import fig7_size_sweep
+
+FILE_SIZES = (1024, 2048, 4096, 8192, 16384, 32768, 65536)
+
+
+def test_fig7(benchmark):
+    out = benchmark.pedantic(
+        fig7_size_sweep,
+        kwargs={"file_sizes": FILE_SIZES, "total_bytes": 4 << 20},
+        rounds=1, iterations=1,
+    )
+    save_artifact("fig7_filesize_sweep", out.text)
+    sweeps = out.data["sweeps"]
+    conv = sweeps["conventional"]
+    cffs = sweeps["cffs"]
+
+    ratios = [c.read_mb_per_s / v.read_mb_per_s for c, v in zip(cffs, conv)]
+    # Biggest win at 1 KB; the advantage narrows with file size.
+    assert ratios[0] >= 4.0, ratios
+    assert ratios[-1] <= ratios[0] * 0.6, ratios
+
+    # Conventional read throughput grows steadily with file size
+    # (amortizing the positioning cost over more bytes).
+    conv_read = [p.read_mb_per_s for p in conv]
+    assert conv_read[-1] > 4.0 * conv_read[0]
+
+    # C-FFS small-file reads already run at a large fraction of its
+    # large-file rate — that is the whole point.
+    cffs_read = [p.read_mb_per_s for p in cffs]
+    assert cffs_read[0] > 0.25 * cffs_read[-1]

@@ -1,0 +1,41 @@
+"""Figure 8 (§4.3): small-file performance on aged file systems.
+
+The aging program (after [Herrin93]) churns creates/deletes around a
+target utilization before the benchmark runs.  C-FFS's advantage must
+survive aging — groups fragment internally but are still read as units.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.bench import fig8_aging
+
+UTILIZATIONS = (0.1, 0.3, 0.5, 0.7)
+
+
+def test_fig8(benchmark):
+    out = benchmark.pedantic(
+        fig8_aging,
+        kwargs={"utilizations": UTILIZATIONS, "operations": 5000, "n_files": 1200},
+        rounds=1, iterations=1,
+    )
+    save_artifact("fig8_aging", out.text)
+    reads = out.data["read"]
+    creates = out.data["create"]
+    aged_reads = out.data["aged_read"]
+
+    for i, util in enumerate(UTILIZATIONS):
+        ratio = reads["cffs"][i] / reads["conventional"][i]
+        assert ratio >= 2.5, (util, ratio)
+
+    # Aging costs C-FFS something: its read throughput at high
+    # utilization is below the fresh (low-utilization) point.
+    assert reads["cffs"][-1] <= reads["cffs"][0] * 1.05
+
+    # Creates on an aged C-FFS still beat conventional.
+    for i, util in enumerate(UTILIZATIONS):
+        assert creates["cffs"][i] > creates["conventional"][i], util
+
+    # Reading the aged survivors themselves — fragmented groups and
+    # all — C-FFS keeps a clear advantage.
+    for i, util in enumerate(UTILIZATIONS):
+        ratio = aged_reads["cffs"][i] / aged_reads["conventional"][i]
+        assert ratio >= 1.5, (util, ratio)

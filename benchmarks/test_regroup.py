@@ -1,0 +1,70 @@
+"""Maintenance experiment: re-grouping recovers aged performance.
+
+After create/delete churn fragments a directory's groups, the
+``regroup_directory`` pass re-co-locates its small files.  This
+measures the recovery and what the pass itself costs.
+"""
+
+import random
+
+from benchmarks.conftest import save_artifact
+from repro.analysis import Table
+from repro.cache.policy import MetadataPolicy
+from repro.workloads.configs import build_filesystem
+
+
+def run_regroup_experiment(n_ops: int = 3000, seed: int = 9):
+    fs = build_filesystem("cffs", MetadataPolicy.SYNC_METADATA)
+    fs.mkdir("/d")
+    rng = random.Random(seed)
+    live = []
+    serial = 0
+    for _ in range(n_ops):
+        if live and rng.random() < 0.45:
+            fs.unlink(live.pop(rng.randrange(len(live))))
+        else:
+            path = "/d/f%05d" % serial
+            serial += 1
+            fs.write_file(path, b"x" * 1024)
+            live.append(path)
+    fs.sync()
+
+    def cold_read():
+        fs.drop_caches()
+        start = fs.device.clock.now
+        before = fs.device.disk.stats.snapshot()
+        for path in sorted(live):
+            fs.read_file(path)
+        delta = fs.device.disk.stats.delta(before)
+        return fs.device.clock.now - start, delta.total_requests
+
+    t_aged, r_aged = cold_read()
+    start = fs.device.clock.now
+    moved = fs.regroup_directory("/d")
+    fs.sync()
+    t_pass = fs.device.clock.now - start
+    t_fresh, r_fresh = cold_read()
+
+    table = Table(
+        "Re-grouping an aged directory (%d live files)" % len(live),
+        ["state", "cold read s", "disk requests"],
+    )
+    table.add_row("aged", "%.2f" % t_aged, r_aged)
+    table.add_row("re-grouped", "%.2f" % t_fresh, r_fresh)
+    table.caption = "the pass moved %d blocks and cost %.2f s of I/O" % (moved, t_pass)
+    return {
+        "files": len(live), "moved": moved,
+        "t_aged": t_aged, "t_fresh": t_fresh, "t_pass": t_pass,
+        "r_aged": r_aged, "r_fresh": r_fresh,
+    }, table.render()
+
+
+def test_regroup(benchmark):
+    data, text = benchmark.pedantic(run_regroup_experiment, rounds=1, iterations=1)
+    save_artifact("regroup_recovery", data and text)
+
+    # Re-grouping speeds up directory-local cold reads meaningfully...
+    assert data["t_fresh"] < 0.7 * data["t_aged"], (data["t_fresh"], data["t_aged"])
+    assert data["r_fresh"] <= data["r_aged"]
+    # ...and pays for itself within a few read passes of the directory.
+    assert data["t_pass"] < 6 * data["t_aged"]

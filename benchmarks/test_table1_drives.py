@@ -1,0 +1,16 @@
+"""Table 1: characteristics of three modern (1996) disk drives."""
+
+from benchmarks.conftest import save_artifact
+from repro.bench import table1_drives
+
+
+def test_table1(benchmark):
+    out = benchmark.pedantic(table1_drives, rounds=1, iterations=1)
+    save_artifact("table1_drives", out.text)
+    # The paper's quoted seek characteristics appear verbatim.
+    for quoted in ("8.7", "8.0", "7.9", "16.5", "19.0", "18.0"):
+        assert quoted in out.text
+    # All three drives spin at 7200 RPM and move >= 7 MB/s off the media.
+    for profile in out.data.values():
+        assert profile.rpm == 7200.0
+        assert profile.max_media_mb_per_s > 7.0

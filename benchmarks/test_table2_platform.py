@@ -1,0 +1,13 @@
+"""Table 2: the experimental platform's Seagate ST31200."""
+
+from benchmarks.conftest import save_artifact
+from repro.bench import table2_platform
+
+
+def test_table2(benchmark):
+    out = benchmark.pedantic(table2_platform, rounds=1, iterations=1)
+    save_artifact("table2_platform", out.text)
+    profile = out.data["profile"]
+    assert profile.rpm == 5400.0
+    assert 0.9e9 < profile.capacity_bytes < 1.3e9  # the 1 GB class
+    assert 2.5 < profile.max_media_mb_per_s < 5.0

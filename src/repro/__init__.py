@@ -1,0 +1,73 @@
+"""C-FFS reproduction: embedded inodes and explicit grouping.
+
+A full reimplementation-as-simulation of Ganger & Kaashoek's
+"Embedded Inodes and Explicit Grouping: Exploiting Disk Bandwidth for
+Small Files" (USENIX Technical Conference, January 1997), including the
+disk substrate, the conventional FFS baseline, C-FFS itself, offline
+checkers, workload generators, and one experiment driver per table and
+figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import make_cffs
+
+    fs = make_cffs()                   # fresh C-FFS on a simulated ST31200
+    fs.mkdir("/inbox")
+    fs.write_file("/inbox/mail1", b"hello, small file")
+    print(fs.read_file("/inbox/mail1"))
+    print(fs.device.clock.now, "simulated seconds elapsed")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.blockdev.device import BLOCK_SIZE, BlockDevice
+from repro.cache.buffercache import BufferCache
+from repro.cache.policy import MetadataPolicy
+from repro.clock import CpuModel, SimClock
+from repro.core.filesystem import CFFS, CFFSConfig, make_cffs
+from repro.disk.drive import SimulatedDisk
+from repro.disk.profiles import (
+    HP_C2247,
+    HP_C3653,
+    PROFILES,
+    QUANTUM_ATLAS_II,
+    SEAGATE_BARRACUDA_4LP,
+    SEAGATE_ST31200,
+    DriveProfile,
+)
+from repro.ffs.filesystem import FFS, FFSConfig, make_ffs
+from repro.fsck import FsckReport, fsck_cffs, fsck_ffs
+from repro.vfs.interface import FileSystem
+from repro.vfs.stat import FileKind, StatResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BLOCK_SIZE",
+    "BlockDevice",
+    "BufferCache",
+    "MetadataPolicy",
+    "CpuModel",
+    "SimClock",
+    "CFFS",
+    "CFFSConfig",
+    "make_cffs",
+    "SimulatedDisk",
+    "DriveProfile",
+    "PROFILES",
+    "HP_C2247",
+    "HP_C3653",
+    "QUANTUM_ATLAS_II",
+    "SEAGATE_BARRACUDA_4LP",
+    "SEAGATE_ST31200",
+    "FFS",
+    "FFSConfig",
+    "make_ffs",
+    "FsckReport",
+    "fsck_cffs",
+    "fsck_ffs",
+    "FileSystem",
+    "FileKind",
+    "StatResult",
+]

@@ -1,0 +1,23 @@
+"""Measurement helpers: tables, figure-shaped text output, and request
+stream analysis."""
+
+from repro.analysis.report import Table, bar_chart, format_series
+from repro.analysis.metrics import speedup, percent_improvement
+from repro.analysis.requestlog import (
+    LogSummary,
+    compare_streams,
+    render_summary,
+    summarize,
+)
+
+__all__ = [
+    "Table",
+    "bar_chart",
+    "format_series",
+    "speedup",
+    "percent_improvement",
+    "LogSummary",
+    "summarize",
+    "render_summary",
+    "compare_streams",
+]

@@ -1,0 +1,15 @@
+"""Small metric helpers used by experiments and their tests."""
+
+from __future__ import annotations
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """How many times faster the improved time is than the baseline."""
+    if improved_seconds <= 0:
+        raise ValueError("improved time must be positive")
+    return baseline_seconds / improved_seconds
+
+
+def percent_improvement(baseline_seconds: float, improved_seconds: float) -> float:
+    """Throughput improvement in percent (the paper's 10-300% figures)."""
+    return (speedup(baseline_seconds, improved_seconds) - 1.0) * 100.0

@@ -1,0 +1,40 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Each driver returns structured results plus a rendered text artifact
+(the same rows/series the paper reports).  The pytest-benchmark files
+under ``benchmarks/`` and the example scripts both call these.
+"""
+
+from repro.bench.experiments import (
+    ExperimentOutput,
+    ablation_cache_size,
+    ablation_embed_dirsize,
+    ablation_group_size,
+    breakdown_read_time,
+    fig2_access_time,
+    fig5_smallfile,
+    fig6_smallfile_softdep,
+    fig7_size_sweep,
+    fig8_aging,
+    table1_drives,
+    table2_platform,
+    table3_requests,
+    table4_apps,
+)
+
+__all__ = [
+    "ExperimentOutput",
+    "table1_drives",
+    "fig2_access_time",
+    "table2_platform",
+    "fig5_smallfile",
+    "fig6_smallfile_softdep",
+    "table3_requests",
+    "fig7_size_sweep",
+    "fig8_aging",
+    "table4_apps",
+    "ablation_group_size",
+    "ablation_embed_dirsize",
+    "ablation_cache_size",
+    "breakdown_read_time",
+]

@@ -1,0 +1,13 @@
+"""Block-granular device layer over the simulated disk.
+
+The file systems operate on 4 KB blocks.  This package provides the
+block device (data storage + timing via the drive) and the C-LOOK
+ordering applied to batched scatter/gather requests, mirroring the
+paper's driver: "supports scatter/gather I/O and uses a C-LOOK
+scheduling algorithm".
+"""
+
+from repro.blockdev.device import BLOCK_SIZE, SECTORS_PER_BLOCK, BlockDevice
+from repro.blockdev.scheduler import clook_order, coalesce_blocks
+
+__all__ = ["BLOCK_SIZE", "SECTORS_PER_BLOCK", "BlockDevice", "clook_order", "coalesce_blocks"]

@@ -1,0 +1,190 @@
+"""The block device: lossless data storage plus drive timing.
+
+Data is held at this layer (the drive is timing-only), so on-board
+caching and write-behind can never corrupt state.  Blocks are 4 KB —
+the paper's C-FFS "currently does not support ... fragments (the units
+of allocation are 4 KB blocks)" — and unwritten blocks read as zeros.
+
+Devices can be persisted to sparse image files (``save_image`` /
+``load_image``), which is what the ``python -m repro`` CLI operates on.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.clock import SimClock
+from repro.disk.drive import SimulatedDisk
+from repro.disk.geometry import SECTOR_SIZE
+from repro.disk.profiles import PROFILES, DriveProfile
+from repro.blockdev.scheduler import clook_order, coalesce_blocks
+from repro.errors import AddressError, InvalidArgument
+
+BLOCK_SIZE = 4096
+SECTORS_PER_BLOCK = BLOCK_SIZE // SECTOR_SIZE
+
+_ZERO_BLOCK = bytes(BLOCK_SIZE)
+
+_IMAGE_MAGIC = b"CFFSIMG1"
+
+
+class BlockDevice:
+    """4 KB-block view of a simulated disk with scatter/gather batches."""
+
+    def __init__(self, profile: DriveProfile, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.disk = SimulatedDisk(profile, self.clock)
+        self.total_blocks = self.disk.total_sectors // SECTORS_PER_BLOCK
+        self._blocks: Dict[int, bytes] = {}
+
+    # -- single-block operations ---------------------------------------------
+
+    def read_block(self, bno: int) -> bytes:
+        """Read one block (timed)."""
+        self._check(bno, 1)
+        self.disk.read(bno * SECTORS_PER_BLOCK, SECTORS_PER_BLOCK)
+        return self._blocks.get(bno, _ZERO_BLOCK)
+
+    def write_block(self, bno: int, data: bytes) -> None:
+        """Write one block (timed)."""
+        self._check(bno, 1)
+        if len(data) != BLOCK_SIZE:
+            raise ValueError("block write must be exactly %d bytes" % BLOCK_SIZE)
+        self.disk.write(bno * SECTORS_PER_BLOCK, SECTORS_PER_BLOCK)
+        self._blocks[bno] = bytes(data)
+
+    # -- extent operations ----------------------------------------------------
+
+    def read_extent(self, start: int, count: int) -> List[bytes]:
+        """Read ``count`` adjacent blocks in one disk request."""
+        self._check(start, count)
+        self.disk.read(start * SECTORS_PER_BLOCK, count * SECTORS_PER_BLOCK)
+        return [self._blocks.get(b, _ZERO_BLOCK) for b in range(start, start + count)]
+
+    def write_extent(self, start: int, blocks: Sequence[bytes]) -> None:
+        """Write adjacent blocks in one scatter/gather disk request."""
+        count = len(blocks)
+        self._check(start, count)
+        for data in blocks:
+            if len(data) != BLOCK_SIZE:
+                raise ValueError("block write must be exactly %d bytes" % BLOCK_SIZE)
+        self.disk.write(start * SECTORS_PER_BLOCK, count * SECTORS_PER_BLOCK)
+        for i, data in enumerate(blocks):
+            self._blocks[start + i] = bytes(data)
+
+    # -- batched operations (C-LOOK ordered) -----------------------------------
+
+    def write_batch(self, writes: Dict[int, bytes]) -> int:
+        """Write many blocks: C-LOOK order, adjacent runs coalesced.
+
+        Returns the number of disk requests issued.  This is the path
+        the buffer cache uses to flush, and the coalescing is what lets
+        explicitly-grouped blocks travel as single requests.
+        """
+        if not writes:
+            return 0
+        head = self.disk.current_lba_estimate() // SECTORS_PER_BLOCK
+        ordered = clook_order(writes.keys(), head)
+        nrequests = 0
+        for start, count in coalesce_blocks(ordered):
+            self.write_extent(start, [writes[b] for b in range(start, start + count)])
+            nrequests += 1
+        return nrequests
+
+    def read_batch(self, block_numbers: Iterable[int]) -> Dict[int, bytes]:
+        """Read many blocks: C-LOOK order, adjacent runs coalesced."""
+        blocks = list(block_numbers)
+        if not blocks:
+            return {}
+        head = self.disk.current_lba_estimate() // SECTORS_PER_BLOCK
+        ordered = clook_order(blocks, head)
+        out: Dict[int, bytes] = {}
+        for start, count in coalesce_blocks(ordered):
+            data = self.read_extent(start, count)
+            for i in range(count):
+                out[start + i] = data[i]
+        return out
+
+    # -- maintenance ------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Drain the drive's write-behind buffer (end-of-phase barrier)."""
+        self.disk.flush_write_buffer()
+
+    def peek_block(self, bno: int) -> bytes:
+        """Read data without timing (used by fsck-style offline tools
+        when the experiment explicitly excludes their cost, and by
+        tests)."""
+        self._check(bno, 1)
+        return self._blocks.get(bno, _ZERO_BLOCK)
+
+    def poke_block(self, bno: int, data: bytes) -> None:
+        """Write data without timing (test corruption injection)."""
+        self._check(bno, 1)
+        if len(data) != BLOCK_SIZE:
+            raise ValueError("block write must be exactly %d bytes" % BLOCK_SIZE)
+        self._blocks[bno] = bytes(data)
+
+    # -- image persistence -------------------------------------------------------
+
+    def save_image(self, path: str) -> None:
+        """Write a sparse, compressed image of the device to ``path``.
+
+        Only written blocks are stored; the drive profile travels by
+        name so a later :meth:`load_image` restores the same timing
+        model.
+        """
+        payload = bytearray()
+        for bno in sorted(self._blocks):
+            payload += struct.pack("<Q", bno)
+            payload += self._blocks[bno]
+        compressed = zlib.compress(bytes(payload), level=6)
+        name = self.disk.profile.name.encode("utf-8")
+        with open(path, "wb") as handle:
+            handle.write(_IMAGE_MAGIC)
+            handle.write(struct.pack("<H", len(name)))
+            handle.write(name)
+            handle.write(struct.pack("<QQ", self.total_blocks, len(self._blocks)))
+            handle.write(compressed)
+
+    @classmethod
+    def load_image(cls, path: str, profile: Optional[DriveProfile] = None) -> "BlockDevice":
+        """Restore a device saved with :meth:`save_image`."""
+        with open(path, "rb") as handle:
+            if handle.read(len(_IMAGE_MAGIC)) != _IMAGE_MAGIC:
+                raise InvalidArgument("%s is not a device image" % path)
+            (name_len,) = struct.unpack("<H", handle.read(2))
+            name = handle.read(name_len).decode("utf-8")
+            total_blocks, n_blocks = struct.unpack("<QQ", handle.read(16))
+            payload = zlib.decompress(handle.read())
+        if profile is None:
+            profile = PROFILES.get(name)
+            if profile is None:
+                raise InvalidArgument(
+                    "image was made with unknown drive profile %r" % name
+                )
+        device = cls(profile)
+        if device.total_blocks != total_blocks:
+            raise InvalidArgument(
+                "image has %d blocks but profile %r provides %d"
+                % (total_blocks, profile.name, device.total_blocks)
+            )
+        record = struct.calcsize("<Q") + BLOCK_SIZE
+        if len(payload) != n_blocks * record:
+            raise InvalidArgument("image payload is truncated")
+        for i in range(n_blocks):
+            off = i * record
+            (bno,) = struct.unpack_from("<Q", payload, off)
+            device._blocks[bno] = bytes(payload[off + 8:off + record])
+        return device
+
+    def _check(self, bno: int, count: int) -> None:
+        if count <= 0:
+            raise AddressError("extent must cover at least one block")
+        if bno < 0 or bno + count > self.total_blocks:
+            raise AddressError(
+                "blocks [%d, %d) outside device of %d blocks"
+                % (bno, bno + count, self.total_blocks)
+            )

@@ -1,0 +1,22 @@
+"""The file system buffer cache.
+
+The cache is indexed by both physical disk address and higher-level
+(file, offset) identity, like the SunOS integrated cache the paper
+cites: C-FFS "uses physical identities to insert newly-read blocks of a
+group into the cache without back-translating to discover their
+file/offset identities".
+
+Write policy is where the paper's two integrity modes live:
+
+- ``SYNC_METADATA`` — metadata updates that carry ordering requirements
+  are written synchronously (conventional FFS behaviour).
+- ``DELAYED_METADATA`` — all metadata writes are delayed, emulating
+  soft updates exactly the way the paper does ("we ... emulate it by
+  using delayed writes for all metadata updates").
+"""
+
+from repro.cache.buffer import Buffer
+from repro.cache.buffercache import BufferCache
+from repro.cache.policy import MetadataPolicy
+
+__all__ = ["Buffer", "BufferCache", "MetadataPolicy"]

@@ -1,0 +1,30 @@
+"""A cached disk block."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.blockdev.device import BLOCK_SIZE
+
+# Logical identity: (file id, block index within the file).  Blocks
+# installed by a group read before any logical access carry None — the
+# "invalid file/offset identity" of the paper.
+LogicalId = Tuple[int, int]
+
+
+class Buffer:
+    """One cached block: physical address, optional logical identity,
+    mutable data, and a dirty flag."""
+
+    __slots__ = ("bno", "data", "dirty", "logical")
+
+    def __init__(self, bno: int, data: bytes, logical: Optional[LogicalId] = None) -> None:
+        if len(data) != BLOCK_SIZE:
+            raise ValueError("buffer must hold exactly %d bytes" % BLOCK_SIZE)
+        self.bno = bno
+        self.data = bytearray(data)
+        self.dirty = False
+        self.logical = logical
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Buffer(bno=%d, dirty=%s, logical=%r)" % (self.bno, self.dirty, self.logical)

@@ -1,0 +1,224 @@
+"""Dual-indexed LRU buffer cache with pluggable flush gathering.
+
+The cache holds whole 4 KB blocks.  Reads go through the block device
+(timed); writes are either synchronous (written through immediately) or
+delayed (marked dirty, flushed on eviction or sync).
+
+When a dirty buffer must be written — eviction or sync — the owning
+file system may expand the write into a *gather set* via the
+``flush_companions`` hook: FFS uses it to cluster contiguous dirty
+blocks of one file [McVoy91]; C-FFS uses it to write all dirty blocks
+of an explicit group as a unit.  The gathered set is flushed through
+:meth:`BlockDevice.write_batch`, which applies C-LOOK ordering and
+coalesces adjacent blocks into single scatter/gather requests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, Optional, Set
+
+from repro.blockdev.device import BLOCK_SIZE, BlockDevice
+from repro.cache.buffer import Buffer, LogicalId
+from repro.errors import InvalidArgument
+
+# Given a dirty victim's block number, return block numbers that should
+# travel to disk with it (must include the victim itself).
+FlushCompanionsHook = Callable[[int], Iterable[int]]
+
+
+class BufferCache:
+    """LRU block cache indexed by physical address and logical identity."""
+
+    def __init__(self, device: BlockDevice, capacity_blocks: int = 4096) -> None:
+        if capacity_blocks < 8:
+            raise InvalidArgument("cache needs at least 8 blocks")
+        self.device = device
+        self.capacity = capacity_blocks
+        self._phys: "OrderedDict[int, Buffer]" = OrderedDict()  # LRU: oldest first
+        self._logical: Dict[LogicalId, Buffer] = {}
+        self._dirty: Set[int] = set()
+        self.flush_companions: Optional[FlushCompanionsHook] = None
+        self._evicting = False
+        # Statistics.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get(self, bno: int, logical: Optional[LogicalId] = None) -> Buffer:
+        """Return the buffer for physical block ``bno``, reading on miss.
+
+        If ``logical`` is given, the buffer's logical identity is
+        (re)assigned — this is how blocks installed by a group read with
+        an invalid identity acquire their file/offset on first access.
+        """
+        buf = self._phys.get(bno)
+        if buf is not None:
+            self.hits += 1
+            self._phys.move_to_end(bno)
+        else:
+            self.misses += 1
+            data = self.device.read_block(bno)
+            buf = Buffer(bno, data)
+            self._insert(buf)
+        if logical is not None and buf.logical != logical:
+            self._set_logical(buf, logical)
+        return buf
+
+    def peek(self, bno: int) -> Optional[Buffer]:
+        """Return the cached buffer or None; never touches the disk."""
+        return self._phys.get(bno)
+
+    def get_logical(self, logical: LogicalId) -> Optional[Buffer]:
+        """Lookup by (file, offset) identity; None if not cached."""
+        buf = self._logical.get(logical)
+        if buf is not None:
+            self.hits += 1
+            self._phys.move_to_end(buf.bno)
+        return buf
+
+    # -- installs and writes -----------------------------------------------------
+
+    def install(self, bno: int, data: bytes, logical: Optional[LogicalId] = None) -> Buffer:
+        """Insert block data obtained outside the per-block read path
+        (group reads); no disk access, existing buffer is reused.
+
+        An existing *dirty* buffer keeps its data — the cached copy is
+        newer than what the group read returned from the media path.
+        """
+        buf = self._phys.get(bno)
+        if buf is None:
+            buf = Buffer(bno, data, logical)
+            self._insert(buf)
+        else:
+            self._phys.move_to_end(bno)
+            if not buf.dirty:
+                buf.data[:] = data
+        if logical is not None and buf.logical != logical:
+            self._set_logical(buf, logical)
+        return buf
+
+    def create(self, bno: int, logical: Optional[LogicalId] = None) -> Buffer:
+        """A zero-filled buffer for a freshly allocated block (no read)."""
+        return self.install(bno, bytes(BLOCK_SIZE), logical)
+
+    def mark_dirty(self, bno: int) -> None:
+        """Record that the buffer's data diverges from the disk."""
+        buf = self._phys[bno]
+        buf.dirty = True
+        self._dirty.add(bno)
+
+    def write_sync(self, bno: int) -> None:
+        """Write the buffer through to the device immediately (timed)."""
+        buf = self._phys[bno]
+        self.device.write_block(bno, bytes(buf.data))
+        buf.dirty = False
+        self._dirty.discard(bno)
+
+    # -- flushing and eviction ------------------------------------------------------
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def flush(self) -> int:
+        """Write every dirty buffer (batched, C-LOOK); returns request count."""
+        if not self._dirty:
+            return 0
+        writes = {bno: bytes(self._phys[bno].data) for bno in self._dirty}
+        nreq = self.device.write_batch(writes)
+        for bno in writes:
+            self._phys[bno].dirty = False
+        self._dirty.clear()
+        return nreq
+
+    def flush_blocks(self, block_numbers: Iterable[int]) -> int:
+        """Write the given blocks if dirty (batched); returns requests."""
+        writes = {}
+        for bno in block_numbers:
+            buf = self._phys.get(bno)
+            if buf is not None and buf.dirty:
+                writes[bno] = bytes(buf.data)
+        if not writes:
+            return 0
+        nreq = self.device.write_batch(writes)
+        for bno in writes:
+            self._phys[bno].dirty = False
+            self._dirty.discard(bno)
+        return nreq
+
+    def sync(self) -> int:
+        """Flush dirty buffers and drain the drive's write-behind buffer."""
+        nreq = self.flush()
+        self.device.flush()
+        return nreq
+
+    def invalidate_all(self) -> None:
+        """Drop all clean buffers (dirty data must be flushed first)."""
+        if self._dirty:
+            raise InvalidArgument("cannot invalidate a cache with dirty buffers")
+        self._phys.clear()
+        self._logical.clear()
+
+    def drop_logical(self, logical: LogicalId) -> None:
+        """Remove a logical mapping (file truncate/delete)."""
+        buf = self._logical.pop(logical, None)
+        if buf is not None:
+            buf.logical = None
+
+    def forget(self, bno: int) -> None:
+        """Discard a buffer outright, dirty or not (block was freed —
+        its contents no longer need to reach the disk)."""
+        buf = self._phys.pop(bno, None)
+        if buf is None:
+            return
+        self._dirty.discard(bno)
+        if buf.logical is not None:
+            self._logical.pop(buf.logical, None)
+
+    # -- internals --------------------------------------------------------------
+
+    def _insert(self, buf: Buffer) -> None:
+        while len(self._phys) >= self.capacity:
+            self._evict_one()
+        self._phys[buf.bno] = buf
+        if buf.logical is not None:
+            self._logical[buf.logical] = buf
+
+    def _set_logical(self, buf: Buffer, logical: LogicalId) -> None:
+        if buf.logical is not None:
+            self._logical.pop(buf.logical, None)
+        buf.logical = logical
+        self._logical[logical] = buf
+
+    def _evict_one(self) -> None:
+        """Evict the least-recently-used buffer, flushing it (and its
+        gather companions) if dirty."""
+        victim_bno = next(iter(self._phys))
+        victim = self._phys[victim_bno]
+        if victim.dirty:
+            companions = set([victim_bno])
+            # The gather hook may itself touch the cache; guard against
+            # re-entrant eviction (the inner eviction writes its victim
+            # alone, which is always safe).
+            if self.flush_companions is not None and not self._evicting:
+                self._evicting = True
+                try:
+                    companions.update(self.flush_companions(victim_bno))
+                finally:
+                    self._evicting = False
+            writes = {}
+            for bno in companions:
+                buf = self._phys.get(bno)
+                if buf is not None and buf.dirty:
+                    writes[bno] = bytes(buf.data)
+            self.device.write_batch(writes)
+            for bno in writes:
+                self._phys[bno].dirty = False
+                self._dirty.discard(bno)
+        self._phys.pop(victim_bno, None)
+        if victim.logical is not None:
+            self._logical.pop(victim.logical, None)
+        self.evictions += 1

@@ -1,0 +1,27 @@
+"""Metadata write policies (the paper's two integrity modes)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class MetadataPolicy(enum.Enum):
+    """How ordering-critical metadata writes reach the disk.
+
+    SYNC_METADATA matches conventional FFS: updates whose ordering
+    matters for crash recovery (inode initialization before directory
+    entry, directory entry removal before inode free) are written
+    synchronously, serializing the operation on disk arm movement.
+
+    DELAYED_METADATA emulates soft updates [Ganger95] the way the paper
+    does: every metadata write becomes a delayed write, flushed by
+    cache pressure or an explicit sync.  [Ganger94] shows this
+    accurately predicts the performance impact of soft updates.
+    """
+
+    SYNC_METADATA = "sync"
+    DELAYED_METADATA = "softdep"
+
+    @property
+    def is_sync(self) -> bool:
+        return self is MetadataPolicy.SYNC_METADATA

@@ -1,0 +1,285 @@
+"""Command-line interface: work with simulated file system images.
+
+::
+
+    python -m repro mkfs site.img                    # fresh C-FFS image
+    python -m repro mkfs site.img --fs ffs           # classic FFS instead
+    python -m repro put site.img README.md /readme
+    python -m repro ls site.img /
+    python -m repro get site.img /readme
+    python -m repro stat site.img /readme
+    python -m repro rm site.img /readme
+    python -m repro regroup site.img /dir            # re-co-locate small files
+    python -m repro fsck site.img
+    python -m repro info site.img
+    python -m repro bench --files 2000               # small-file benchmark
+
+Images are sparse compressed snapshots of the simulated disk; the drive
+profile (and therefore the timing model) travels inside the image.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.blockdev.device import BlockDevice
+from repro.cache.policy import MetadataPolicy
+from repro.core import layout as clayout
+from repro.core.filesystem import CFFS, CFFSConfig
+from repro.disk.profiles import PROFILES, SEAGATE_ST31200
+from repro.errors import ReproError
+from repro.ffs import layout as flayout
+from repro.ffs.filesystem import FFS, FFSConfig
+from repro.fsck import fsck_cffs, fsck_ffs
+
+
+def _magic_of(device: BlockDevice) -> int:
+    import struct
+
+    return struct.unpack_from("<I", device.peek_block(0), 0)[0]
+
+
+def _mount(path: str):
+    device = BlockDevice.load_image(path)
+    magic = _magic_of(device)
+    if magic == clayout.CFFS_MAGIC:
+        return CFFS.mount(device)
+    if magic == flayout.FFS_MAGIC:
+        return FFS.mount(device)
+    raise ReproError("%s holds no recognizable file system (magic 0x%x)" % (path, magic))
+
+
+def _save(fs, path: str) -> None:
+    fs.sync()
+    fs.device.save_image(path)
+
+
+def cmd_mkfs(args) -> int:
+    profile = PROFILES.get(args.profile)
+    if profile is None:
+        print("unknown profile %r; known: %s" % (args.profile, ", ".join(PROFILES)),
+              file=sys.stderr)
+        return 2
+    device = BlockDevice(profile)
+    if args.fs == "ffs":
+        fs = FFS.mkfs(device, FFSConfig())
+    else:
+        fs = CFFS.mkfs(device, CFFSConfig(
+            embedded_inodes=not args.no_embed,
+            explicit_grouping=not args.no_group,
+        ))
+    _save(fs, args.image)
+    print("created %s: %s on %s (%.2f GB)" % (
+        args.image, fs.name, profile.name, profile.capacity_bytes / 1e9,
+    ))
+    return 0
+
+
+def cmd_info(args) -> int:
+    fs = _mount(args.image)
+    profile = fs.device.disk.profile
+    print("file system : %s" % fs.name)
+    print("drive       : %s (%.2f GB, %.0f RPM)" % (
+        profile.name, profile.capacity_bytes / 1e9, profile.rpm,
+    ))
+    print("free blocks : %d / %d" % (fs.free_blocks(), fs.total_data_blocks()))
+    if isinstance(fs, CFFS):
+        print("group span  : %d blocks (%d KB)" % (
+            fs.config.group_span, fs.config.group_span * 4,
+        ))
+        print("techniques  : embedded=%s grouping=%s" % (
+            fs.config.embedded_inodes, fs.config.explicit_grouping,
+        ))
+    return 0
+
+
+def cmd_ls(args) -> int:
+    fs = _mount(args.image)
+    for name in sorted(fs.readdir(args.path)):
+        child = args.path.rstrip("/") + "/" + name
+        st = fs.stat(child)
+        kind = "d" if st.is_dir else "-"
+        print("%s %8d  %s" % (kind, st.size, name))
+    return 0
+
+
+def cmd_put(args) -> int:
+    fs = _mount(args.image)
+    with open(args.hostfile, "rb") as handle:
+        data = handle.read()
+    fs.write_file(args.fspath, data)
+    _save(fs, args.image)
+    print("wrote %d bytes to %s" % (len(data), args.fspath))
+    return 0
+
+
+def cmd_get(args) -> int:
+    fs = _mount(args.image)
+    data = fs.read_file(args.fspath)
+    if args.hostfile:
+        with open(args.hostfile, "wb") as handle:
+            handle.write(data)
+        print("read %d bytes into %s" % (len(data), args.hostfile))
+    else:
+        sys.stdout.buffer.write(data)
+    return 0
+
+
+def cmd_rm(args) -> int:
+    fs = _mount(args.image)
+    fs.unlink(args.fspath)
+    _save(fs, args.image)
+    return 0
+
+
+def cmd_mkdir(args) -> int:
+    fs = _mount(args.image)
+    fs.mkdir(args.fspath)
+    _save(fs, args.image)
+    return 0
+
+
+def cmd_stat(args) -> int:
+    fs = _mount(args.image)
+    st = fs.stat(args.fspath)
+    print("path     : %s" % args.fspath)
+    print("kind     : %s" % st.kind.value)
+    print("size     : %d" % st.size)
+    print("nlink    : %d" % st.nlink)
+    print("blocks   : %d" % st.nblocks)
+    print("file id  : %d" % st.file_id)
+    print("embedded : %s" % st.embedded)
+    print("grouped  : %s" % st.grouped)
+    return 0
+
+
+def cmd_regroup(args) -> int:
+    fs = _mount(args.image)
+    if not isinstance(fs, CFFS):
+        print("regroup requires a C-FFS image", file=sys.stderr)
+        return 2
+    moved = fs.regroup_directory(args.fspath)
+    _save(fs, args.image)
+    print("moved %d blocks into fresh groups" % moved)
+    return 0
+
+
+def cmd_fsck(args) -> int:
+    device = BlockDevice.load_image(args.image)
+    magic = _magic_of(device)
+    if magic == clayout.CFFS_MAGIC:
+        report = fsck_cffs(device)
+    elif magic == flayout.FFS_MAGIC:
+        report = fsck_ffs(device)
+    else:
+        print("unrecognizable file system (magic 0x%x)" % magic, file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_bench(args) -> int:
+    from repro.workloads import build_filesystem, run_smallfile
+
+    policy = (MetadataPolicy.DELAYED_METADATA if args.softdep
+              else MetadataPolicy.SYNC_METADATA)
+    print("small-file benchmark: %d x %d B files, %s metadata" % (
+        args.files, args.size, policy.value,
+    ))
+    for label in args.configs.split(","):
+        fs = build_filesystem(label.strip(), policy)
+        result = run_smallfile(fs, n_files=args.files, file_size=args.size)
+        row = "  ".join("%s %7.1f/s" % (p, r.files_per_second)
+                        for p, r in result.phases.items())
+        print("%-14s %s" % (label.strip(), row))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="C-FFS reproduction: simulated file system images",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("mkfs", help="create a fresh file system image")
+    p.add_argument("image")
+    p.add_argument("--fs", choices=("cffs", "ffs"), default="cffs")
+    p.add_argument("--profile", default=SEAGATE_ST31200.name)
+    p.add_argument("--no-embed", action="store_true",
+                   help="disable embedded inodes (C-FFS only)")
+    p.add_argument("--no-group", action="store_true",
+                   help="disable explicit grouping (C-FFS only)")
+    p.set_defaults(func=cmd_mkfs)
+
+    p = sub.add_parser("info", help="describe an image")
+    p.add_argument("image")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("ls", help="list a directory")
+    p.add_argument("image")
+    p.add_argument("path", nargs="?", default="/")
+    p.set_defaults(func=cmd_ls)
+
+    p = sub.add_parser("put", help="copy a host file into the image")
+    p.add_argument("image")
+    p.add_argument("hostfile")
+    p.add_argument("fspath")
+    p.set_defaults(func=cmd_put)
+
+    p = sub.add_parser("get", help="copy a file out of the image")
+    p.add_argument("image")
+    p.add_argument("fspath")
+    p.add_argument("hostfile", nargs="?")
+    p.set_defaults(func=cmd_get)
+
+    p = sub.add_parser("rm", help="remove a file")
+    p.add_argument("image")
+    p.add_argument("fspath")
+    p.set_defaults(func=cmd_rm)
+
+    p = sub.add_parser("mkdir", help="create a directory")
+    p.add_argument("image")
+    p.add_argument("fspath")
+    p.set_defaults(func=cmd_mkdir)
+
+    p = sub.add_parser("stat", help="show file metadata")
+    p.add_argument("image")
+    p.add_argument("fspath")
+    p.set_defaults(func=cmd_stat)
+
+    p = sub.add_parser("regroup", help="re-co-locate a directory's small files")
+    p.add_argument("image")
+    p.add_argument("fspath")
+    p.set_defaults(func=cmd_regroup)
+
+    p = sub.add_parser("fsck", help="check an image offline")
+    p.add_argument("image")
+    p.set_defaults(func=cmd_fsck)
+
+    p = sub.add_parser("bench", help="run the small-file benchmark")
+    p.add_argument("--files", type=int, default=2000)
+    p.add_argument("--size", type=int, default=1024)
+    p.add_argument("--configs", default="conventional,cffs")
+    p.add_argument("--softdep", action="store_true")
+    p.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""C-FFS: the Co-locating Fast File System (the paper's contribution).
+
+Two techniques over the FFS substrate:
+
+- **Embedded inodes** (:mod:`repro.core.directory`): inodes live inside
+  the directory entry that names them, never straddling a 512-byte
+  sector, so a create or delete updates one sector atomically and the
+  name+inode pair costs one disk request instead of two.  Files with
+  multiple hard links fall back to the *externalized inode file*
+  (:mod:`repro.core.extinodes`), an IFILE-like structure that grows on
+  demand.  The root directory's inode lives in the superblock.
+
+- **Explicit grouping** (:mod:`repro.core.groups`): data blocks of
+  small files named by the same directory are placed in aligned
+  16-block extents and move to/from the disk as single requests.
+  Per-extent descriptors record which (file, offset) owns each slot so
+  a group read installs sibling blocks into the buffer cache by
+  physical address alone.
+
+Both techniques are independently switchable
+(:class:`repro.core.filesystem.CFFSConfig`), which yields the paper's
+four measured configurations.
+"""
+
+from repro.core.filesystem import CFFS, CFFSConfig, make_cffs
+
+__all__ = ["CFFS", "CFFSConfig", "make_cffs"]

@@ -1,0 +1,221 @@
+"""Embedded-inode directory blocks.
+
+A directory block is eight *independent* 512-byte sectors, each tiled
+by variable-length entries (header, padded name, payload).  An entry's
+payload is either a full 96-byte embedded inode or an 8-byte external
+inode number.  Keeping every entry inside one sector is the integrity
+trick the paper leans on: sector writes are atomic, so a name and its
+inode can never be torn apart by a crash, which removes one ordering
+constraint from create and delete [Ganger94].
+
+Within a sector, removal merges the freed record into its predecessor,
+so live entries never move and cached (block, offset) inode locations
+stay valid.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.blockdev.device import BLOCK_SIZE
+from repro.errors import CorruptFileSystem, InvalidArgument, NameTooLong
+from repro.core.layout import (
+    DENT_HEADER_FMT,
+    DENT_HEADER_SIZE,
+    DK_DIR,
+    DK_FILE,
+    ET_EMBEDDED,
+    ET_EXTERNAL,
+    ET_FREE,
+    SECTOR_SIZE,
+    SECTORS_PER_DIR_BLOCK,
+    _pad,
+    dent_payload_size,
+    dent_size,
+    max_name_for_sector,
+)
+
+# (entry offset in block, reclen, etype, kind, name, payload offset in block)
+DirEntry = Tuple[int, int, int, int, str, int]
+
+
+def init_dir_block() -> bytearray:
+    """A fresh directory block: every sector one free record."""
+    block = bytearray(BLOCK_SIZE)
+    for s in range(SECTORS_PER_DIR_BLOCK):
+        struct.pack_into(DENT_HEADER_FMT, block, s * SECTOR_SIZE, SECTOR_SIZE, 0, ET_FREE, 0)
+    return block
+
+
+def iter_sector(block: bytes, sector: int) -> Iterator[DirEntry]:
+    """Entries (live and free) of one sector, in chain order."""
+    base = sector * SECTOR_SIZE
+    offset = base
+    end = base + SECTOR_SIZE
+    while offset < end:
+        reclen, namelen, etype, kind = struct.unpack_from(DENT_HEADER_FMT, block, offset)
+        if reclen < DENT_HEADER_SIZE or offset + reclen > end:
+            raise CorruptFileSystem(
+                "bad embedded dirent reclen %d at offset %d" % (reclen, offset)
+            )
+        name = ""
+        if etype != ET_FREE and namelen:
+            raw = bytes(block[offset + DENT_HEADER_SIZE:offset + DENT_HEADER_SIZE + namelen])
+            name = raw.decode("utf-8", errors="replace")
+        payload_off = offset + DENT_HEADER_SIZE + _pad(namelen)
+        yield offset, reclen, etype, kind, name, payload_off
+        offset += reclen
+    if offset != end:
+        raise CorruptFileSystem("embedded dirent chain does not tile the sector")
+
+
+def iter_block(block: bytes) -> Iterator[Tuple[int, DirEntry]]:
+    """All entries of a block as (sector, entry) pairs."""
+    for s in range(SECTORS_PER_DIR_BLOCK):
+        for entry in iter_sector(block, s):
+            yield s, entry
+
+
+def live_entries(block: bytes) -> List[Tuple[int, DirEntry]]:
+    return [(s, e) for s, e in iter_block(block) if e[2] != ET_FREE]
+
+
+def sector_free_bytes(block: bytes, sector: int) -> int:
+    """Largest insertion this sector can accept."""
+    best = 0
+    for _, reclen, etype, _, name, _ in iter_sector(block, sector):
+        if etype == ET_FREE:
+            avail = reclen
+        else:
+            avail = reclen - dent_size(len(name.encode("utf-8")), etype)
+        best = max(best, avail)
+    return best
+
+
+def add_entry(
+    block: bytearray, sector: int, name: str, etype: int, kind: int, payload: bytes
+) -> Optional[int]:
+    """Insert an entry into one sector; returns the payload offset
+    (block-relative) or None when the sector lacks space."""
+    if etype == ET_FREE:
+        raise InvalidArgument("cannot insert a free entry")
+    encoded = name.encode("utf-8")
+    if len(encoded) > max_name_for_sector():
+        raise NameTooLong("name %r cannot share a sector with an inode" % name)
+    if len(payload) != dent_payload_size(etype):
+        raise InvalidArgument("payload size does not match entry type")
+    needed = dent_size(len(encoded), etype)
+
+    base = sector * SECTOR_SIZE
+    offset = base
+    end = base + SECTOR_SIZE
+    while offset < end:
+        reclen, namelen, cur_etype, cur_kind = struct.unpack_from(
+            DENT_HEADER_FMT, block, offset
+        )
+        if cur_etype == ET_FREE and reclen >= needed:
+            remainder = reclen - needed
+            if remainder >= DENT_HEADER_SIZE:
+                _write_entry(block, offset, needed, etype, kind, encoded, payload)
+                struct.pack_into(
+                    DENT_HEADER_FMT, block, offset + needed, remainder, 0, ET_FREE, 0
+                )
+            else:
+                _write_entry(block, offset, reclen, etype, kind, encoded, payload)
+            return offset + DENT_HEADER_SIZE + _pad(len(encoded))
+        if cur_etype != ET_FREE:
+            used = dent_size(namelen, cur_etype)
+            slack = reclen - used
+            if slack >= needed:
+                struct.pack_into(
+                    DENT_HEADER_FMT, block, offset, used, namelen, cur_etype, cur_kind
+                )
+                new_off = offset + used
+                _write_entry(block, new_off, slack, etype, kind, encoded, payload)
+                return new_off + DENT_HEADER_SIZE + _pad(len(encoded))
+        offset += reclen
+    return None
+
+
+def _write_entry(
+    block: bytearray, offset: int, reclen: int, etype: int, kind: int,
+    encoded: bytes, payload: bytes,
+) -> None:
+    struct.pack_into(DENT_HEADER_FMT, block, offset, reclen, len(encoded), etype, kind)
+    name_off = offset + DENT_HEADER_SIZE
+    block[name_off:name_off + _pad(len(encoded))] = encoded + bytes(
+        _pad(len(encoded)) - len(encoded)
+    )
+    payload_off = name_off + _pad(len(encoded))
+    block[payload_off:payload_off + len(payload)] = payload
+
+
+def find_entry(block: bytes, name: str) -> Optional[Tuple[int, DirEntry]]:
+    """Locate a live entry by name; returns (sector, entry) or None."""
+    for s, entry in iter_block(block):
+        if entry[4] == name:
+            return s, entry
+    return None
+
+
+def remove_entry(block: bytearray, name: str) -> Optional[Tuple[int, int]]:
+    """Remove ``name``; returns (sector, etype) or None if absent."""
+    for sector in range(SECTORS_PER_DIR_BLOCK):
+        base = sector * SECTOR_SIZE
+        end = base + SECTOR_SIZE
+        prev_offset = None
+        offset = base
+        while offset < end:
+            reclen, namelen, etype, kind = struct.unpack_from(DENT_HEADER_FMT, block, offset)
+            if etype != ET_FREE:
+                raw = bytes(block[offset + DENT_HEADER_SIZE:offset + DENT_HEADER_SIZE + namelen])
+                if raw.decode("utf-8", errors="replace") == name:
+                    if prev_offset is None:
+                        struct.pack_into(DENT_HEADER_FMT, block, offset, reclen, 0, ET_FREE, 0)
+                        # Scrub the payload so stale inodes never look live.
+                        block[offset + DENT_HEADER_SIZE:offset + reclen] = bytes(
+                            reclen - DENT_HEADER_SIZE
+                        )
+                    else:
+                        p_reclen, p_namelen, p_etype, p_kind = struct.unpack_from(
+                            DENT_HEADER_FMT, block, prev_offset
+                        )
+                        struct.pack_into(
+                            DENT_HEADER_FMT, block, prev_offset,
+                            p_reclen + reclen, p_namelen, p_etype, p_kind,
+                        )
+                        block[offset:offset + reclen] = bytes(reclen)
+                    return sector, etype
+            prev_offset = offset
+            offset += reclen
+    return None
+
+
+def rewrite_payload(block: bytearray, payload_off: int, payload: bytes) -> None:
+    """Update an entry's payload in place (embedded inode writeback)."""
+    block[payload_off:payload_off + len(payload)] = payload
+
+
+def change_entry_type(
+    block: bytearray, entry_off: int, new_etype: int, payload: bytes
+) -> int:
+    """Convert an entry between embedded and external in place.
+
+    The record length never changes (external payloads are smaller than
+    embedded ones, so conversion always fits); returns the new payload
+    offset.
+    """
+    reclen, namelen, etype, kind = struct.unpack_from(DENT_HEADER_FMT, block, entry_off)
+    if etype == ET_FREE:
+        raise InvalidArgument("cannot retype a free entry")
+    needed = dent_size(namelen, new_etype)
+    if needed > reclen:
+        raise InvalidArgument("entry too small for new payload")
+    struct.pack_into(DENT_HEADER_FMT, block, entry_off, reclen, namelen, new_etype, kind)
+    payload_off = entry_off + DENT_HEADER_SIZE + _pad(namelen)
+    block[payload_off:payload_off + reclen - (DENT_HEADER_SIZE + _pad(namelen))] = bytes(
+        reclen - DENT_HEADER_SIZE - _pad(namelen)
+    )
+    block[payload_off:payload_off + len(payload)] = payload
+    return payload_off

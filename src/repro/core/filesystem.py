@@ -1,0 +1,1106 @@
+"""C-FFS: embedded inodes and explicit grouping over the FFS substrate.
+
+The two techniques are independently switchable, which produces the
+paper's measured grid:
+
+====================  =========================  =======================
+configuration         inode placement            small-file data
+====================  =========================  =======================
+conventional          externalized inode file    rotationally spread
+embedded only         in-directory               rotationally spread
+grouping only         externalized inode file    explicit 16-block groups
+C-FFS (both)          in-directory               explicit 16-block groups
+====================  =========================  =======================
+
+Operation costs under ``SYNC_METADATA``:
+
+- create/delete with embedded inodes: **one** synchronous write (the
+  name and inode share a sector, which a disk writes atomically);
+- create/delete with external inodes: two synchronous writes, ordered
+  like FFS (inode before name on create; name before inode on delete).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.blockdev.device import BLOCK_SIZE, BlockDevice
+from repro.cache.buffercache import BufferCache
+from repro.cache.policy import MetadataPolicy
+from repro.clock import CpuModel
+from repro.core import directory as dirfmt
+from repro.core import layout
+from repro.core.extinodes import EXT_TABLE_FILEID, ExtInodeTable
+from repro.core.groups import GroupTable
+from repro.core.inode import CNode, LOC_DIR, LOC_EXT, LOC_SUPER
+from repro.errors import (
+    CorruptFileSystem,
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NoSpace,
+    NotADirectory,
+)
+from repro.ffs import mapping
+from repro.ffs.alloc import GroupedAllocator
+from repro.ffs.base import BlockFileSystem
+from repro.vfs.stat import FileKind, StatResult
+
+ROOT_FILEID = 1
+FIRST_DYNAMIC_FILEID = 3  # 1 = root, 2 = external inode table
+
+
+@dataclass
+class CFFSConfig:
+    """Tunable parameters; the two booleans select the paper's grid."""
+
+    blocks_per_cg: int = 2048
+    embedded_inodes: bool = True
+    explicit_grouping: bool = True
+    small_file_spread: int = 6      # conventional placement when grouping is off
+    smallfile_max_blocks: int = 12  # files beyond this migrate out of groups
+    group_span: int = layout.GROUP_SPAN  # blocks per explicit group (<= 16)
+    policy: MetadataPolicy = MetadataPolicy.SYNC_METADATA
+    cache_blocks: int = 4096
+    file_readahead_blocks: int = 0  # FS-level sequential prefetch (off)
+
+    @property
+    def gdt_blocks(self) -> int:
+        """Blocks of group descriptors per cylinder group (self-consistent
+        with the data area they describe)."""
+        g = 1
+        while True:
+            extents = (self.blocks_per_cg - 2 - g) // self.group_span
+            if g * layout.GDESC_PER_BLOCK >= extents:
+                return g
+            g += 1
+
+    @property
+    def data_start(self) -> int:
+        return 2 + self.gdt_blocks
+
+    @property
+    def label(self) -> str:
+        if self.embedded_inodes and self.explicit_grouping:
+            return "cffs"
+        if self.embedded_inodes:
+            return "ffs+embed"
+        if self.explicit_grouping:
+            return "ffs+group"
+        return "conventional"
+
+
+class _HintContext:
+    """A grouping owner created from an application hint.
+
+    Duck-types the two attributes the group allocator reads from a
+    directory handle: a stable ``fileid`` (drawn from the same counter
+    as real files, so descriptors stay unambiguous) and a ``home_cg``
+    locality preference.
+    """
+
+    __slots__ = ("fileid", "home_cg")
+
+    def __init__(self, fileid: int, home_cg: int) -> None:
+        self.fileid = fileid
+        self.home_cg = home_cg
+
+
+class _GroupContextManager:
+    """Context manager pushing a hint onto the owning file system."""
+
+    def __init__(self, fs: "CFFS", ctx: _HintContext) -> None:
+        self._fs = fs
+        self._ctx = ctx
+
+    def __enter__(self) -> _HintContext:
+        self._fs._hint_stack.append(self._ctx)
+        return self._ctx
+
+    def __exit__(self, *exc) -> None:
+        popped = self._fs._hint_stack.pop()
+        assert popped is self._ctx, "unbalanced group_context nesting"
+
+
+class _DirIndex:
+    """Name cache for one C-FFS directory.
+
+    Fills incrementally: lookups scan directory blocks only until the
+    wanted name appears; absence checks (create/link/rename targets)
+    force a full scan.  Scan costs are charged as incurred.
+    """
+
+    __slots__ = ("names", "sector_free", "scanned_blocks", "complete")
+
+    def __init__(self) -> None:
+        # name -> (etype, kind, blk, entry_off, payload_off, ident)
+        # ident is the fileid for embedded entries, the external inode
+        # number for external ones.
+        self.names: Dict[str, Tuple[int, int, int, int, int, int]] = {}
+        self.sector_free: Dict[Tuple[int, int], int] = {}
+        self.scanned_blocks = 0
+        self.complete = False
+
+
+class CFFS(BlockFileSystem):
+    """The Co-locating Fast File System."""
+
+    def __init__(self, device: BlockDevice, config: CFFSConfig,
+                 cache: Optional[BufferCache] = None) -> None:
+        cache = cache if cache is not None else BufferCache(device, config.cache_blocks)
+        super().__init__(
+            cache, CpuModel(device.clock), config.policy,
+            file_readahead_blocks=config.file_readahead_blocks,
+        )
+        self.device = device
+        self.config = config
+        self.name = config.label
+        self.sb: Dict[str, object] = {}
+        self.alloc: GroupedAllocator = None  # type: ignore[assignment]
+        self.groups: GroupTable = None       # type: ignore[assignment]
+        self.ext = ExtInodeTable(self)
+        self._root: Optional[CNode] = None
+        self._icache: Dict[int, CNode] = {}
+        self._dir_index: Dict[int, _DirIndex] = {}
+        self._hint_contexts: Dict[str, _HintContext] = {}
+        self._hint_stack: List[_HintContext] = []
+        self.cache.flush_companions = self._flush_companions
+
+    # ------------------------------------------------------------------ mkfs/mount
+
+    @classmethod
+    def mkfs(cls, device: BlockDevice, config: Optional[CFFSConfig] = None) -> "CFFS":
+        config = config if config is not None else CFFSConfig()
+        fs = cls(device, config)
+        total = device.total_blocks
+        n_cgs = (total - 1) // config.blocks_per_cg
+        if n_cgs < 1:
+            raise InvalidArgument("device too small for one cylinder group")
+        data_area = config.blocks_per_cg - config.data_start
+        usable = (data_area // config.group_span) * config.group_span
+        fs.sb = {
+            "magic": layout.CFFS_MAGIC,
+            "version": 1,
+            "total_blocks": total,
+            "n_cgs": n_cgs,
+            "blocks_per_cg": config.blocks_per_cg,
+            "gdt_blocks": config.gdt_blocks,
+            "data_start": config.data_start,
+            "group_span": config.group_span,
+            "config_flags": (
+                (layout.SBF_EMBEDDED_INODES if config.embedded_inodes else 0)
+                | (layout.SBF_EXPLICIT_GROUPING if config.explicit_grouping else 0)
+            ),
+            "next_fileid": FIRST_DYNAMIC_FILEID,
+            "next_gen": 1,
+            "free_blocks": n_cgs * usable,
+            "ext_size": 0,
+            "ext_direct": [0] * 12,
+            "ext_indirect": 0,
+            "ext_dindirect": 0,
+        }
+        fs._build_tables()
+        from repro.ffs.layout import pack_cg
+
+        for cgi in range(n_cgs):
+            base = fs.cg_base(cgi)
+            bmap = fs.cache.create(base + 1)
+            for off in range(config.data_start):
+                bmap.data[off >> 3] |= 1 << (off & 7)
+            # Blocks past the last whole extent are unusable; mark used.
+            for off in range(config.data_start + usable, config.blocks_per_cg):
+                bmap.data[off >> 3] |= 1 << (off & 7)
+            fs.cache.mark_dirty(base + 1)
+            desc = fs.cache.create(base)
+            desc.data[:] = pack_cg(usable, 0, config.data_start, 0)
+            fs.cache.mark_dirty(base)
+            for g in range(config.gdt_blocks):
+                fs.cache.create(base + 2 + g)
+                fs.cache.mark_dirty(base + 2 + g)
+        root = CNode(ROOT_FILEID)
+        root.init_as(layout.MODE_DIR, gen=1, mtime=device.clock.now)
+        root.loc = (LOC_SUPER,)
+        root.home_cg = 0
+        fs._root = root
+        fs._icache[ROOT_FILEID] = root
+        fs._write_back_metadata()
+        fs.cache.sync()
+        return fs
+
+    @classmethod
+    def mount(cls, device: BlockDevice, config: Optional[CFFSConfig] = None) -> "CFFS":
+        """Mount an existing image.
+
+        Without an explicit ``config`` the geometry and technique flags
+        are derived from the superblock, so any valid image mounts.
+        """
+        if config is None:
+            probe = layout.unpack_superblock(device.peek_block(0))
+            if probe["magic"] != layout.CFFS_MAGIC:
+                raise CorruptFileSystem(
+                    "bad C-FFS superblock magic 0x%x" % probe["magic"]
+                )
+            config = CFFSConfig(
+                blocks_per_cg=probe["blocks_per_cg"],
+                group_span=probe["group_span"] or layout.GROUP_SPAN,
+                embedded_inodes=bool(probe["config_flags"] & layout.SBF_EMBEDDED_INODES),
+                explicit_grouping=bool(probe["config_flags"] & layout.SBF_EXPLICIT_GROUPING),
+            )
+        fs = cls(device, config)
+        raw = bytes(fs.cache.get(0).data)
+        sb = layout.unpack_superblock(raw)
+        if sb["magic"] != layout.CFFS_MAGIC:
+            raise CorruptFileSystem("bad C-FFS superblock magic 0x%x" % sb["magic"])
+        if sb["blocks_per_cg"] != config.blocks_per_cg:
+            raise CorruptFileSystem("superblock geometry disagrees with config")
+        if sb["group_span"] != config.group_span:
+            raise CorruptFileSystem(
+                "superblock group span %d disagrees with config %d"
+                % (sb["group_span"], config.group_span)
+            )
+        fs.sb = sb
+        fs._build_tables()
+        root = CNode.unpack(layout.root_inode_bytes(raw))
+        root.loc = (LOC_SUPER,)
+        root.home_cg = 0
+        fs._root = root
+        fs._icache[ROOT_FILEID] = root
+        return fs
+
+    def _build_tables(self) -> None:
+        self.alloc = GroupedAllocator(
+            self.cache,
+            n_cgs=int(self.sb["n_cgs"]),
+            blocks_per_cg=int(self.sb["blocks_per_cg"]),
+            inodes_per_cg=0,
+            data_start=int(self.sb["data_start"]),
+            cg_base_of=self.cg_base,
+        )
+        self.groups = GroupTable(
+            self.cache,
+            n_cgs=int(self.sb["n_cgs"]),
+            blocks_per_cg=int(self.sb["blocks_per_cg"]),
+            gdt_blocks=int(self.sb["gdt_blocks"]),
+            data_start=int(self.sb["data_start"]),
+            cg_base_of=self.cg_base,
+            span=self.config.group_span,
+        )
+
+    def cg_base(self, cgi: int) -> int:
+        return 1 + cgi * int(self.sb["blocks_per_cg"])
+
+    def _next_fileid(self) -> int:
+        fid = int(self.sb["next_fileid"])
+        self.sb["next_fileid"] = fid + 1
+        return fid
+
+    def _next_gen(self) -> int:
+        gen = int(self.sb["next_gen"])
+        self.sb["next_gen"] = (gen + 1) & 0xFFFF
+        return gen or 1
+
+    # ------------------------------------------------------------------ inode persistence
+
+    def _file_id(self, handle: CNode) -> int:
+        return handle.fileid
+
+    def _metadata_block_of(self, handle: CNode) -> int:
+        tag = handle.loc[0]
+        if tag == LOC_SUPER:
+            return 0
+        if tag == LOC_DIR:
+            _, parent, blk, _eo, _po = handle.loc
+            return self._dir_block_bno(parent, blk)
+        inum = handle.loc[1]
+        bno, _blk, _off = self.ext._locate(inum)
+        return bno
+
+    def _fsync_metadata(self, handle: CNode) -> int:
+        """Persist the whole embedding chain.
+
+        An embedded inode lives in its parent directory's data block,
+        whose own (embedded) inode may carry not-yet-written updates
+        (size, block pointers), and so on up to the superblock.  A
+        C-FFS fsync therefore makes the *name* durable too — the
+        atomicity property, applied to write-back.
+        """
+        nreq = 0
+        node: Optional[CNode] = handle
+        while node is not None:
+            nreq += self.cache.flush_blocks([self._metadata_block_of(node)])
+            if node.loc[0] == LOC_DIR:
+                node = node.loc[1]
+            elif node.loc[0] == LOC_EXT:
+                # External table pointers live in the superblock.
+                nreq += self.cache.flush_blocks([0])
+                node = None
+            else:
+                node = None
+        return nreq
+
+    def _istore(self, handle: CNode, sync_op: bool = False) -> None:
+        tag = handle.loc[0]
+        if tag == LOC_SUPER:
+            self._store_superblock(sync_op)
+        elif tag == LOC_DIR:
+            _, parent, blk, _entry_off, payload_off = handle.loc
+            bno = self._dir_block_bno(parent, blk)
+            buf = self.cache.get(bno, logical=(parent.fileid, blk))
+            dirfmt.rewrite_payload(buf.data, payload_off, handle.pack())
+            if sync_op:
+                self._meta_write(bno)
+            else:
+                self.cache.mark_dirty(bno)
+        elif tag == LOC_EXT:
+            self.ext.store(handle.loc[1], handle, sync=sync_op)
+        else:  # pragma: no cover - defensive
+            raise CorruptFileSystem("inode with unknown location %r" % (handle.loc,))
+
+    def _store_superblock(self, sync_op: bool = False) -> None:
+        buf = self.cache.get(0)
+        root = self._root if self._root is not None else CNode(ROOT_FILEID)
+        buf.data[:] = layout.pack_superblock(self.sb, root.pack())
+        if sync_op:
+            self._meta_write(0)
+        else:
+            self.cache.mark_dirty(0)
+
+    # ------------------------------------------------------------------ application hints
+
+    def group_context(self, tag: str) -> "_GroupContextManager":
+        """Group files by application hint instead of by directory.
+
+        The paper's discussion (§6) proposes "extensions to the file
+        system interface to allow this information to be passed to the
+        file system", e.g. "to group files that make up a single
+        hypertext document" [Kaashoek96].  Inside the context, small
+        files written through this file system place their data in
+        groups owned by the *tag* rather than by their naming
+        directory, so one document's files co-locate even when its
+        names are spread across directories::
+
+            with fs.group_context("doc:index"):
+                fs.write_file("/pages/index.html", html)
+                fs.write_file("/images/logo.gif", logo)
+
+        Hints affect placement only; naming, integrity and recovery are
+        untouched (fsck verifies slot ownership against the files, not
+        against directories).  Contexts nest; the innermost wins.
+        """
+        ctx = self._hint_contexts.get(tag)
+        if ctx is None:
+            ctx = _HintContext(self._next_fileid(), self._pick_dir_cg())
+            self._hint_contexts[tag] = ctx
+        return _GroupContextManager(self, ctx)
+
+    # ------------------------------------------------------------------ allocation hooks
+
+    def _owner_dir(self, handle: CNode) -> Optional[CNode]:
+        if self._hint_stack:
+            return self._hint_stack[-1]
+        if handle.loc[0] == LOC_DIR:
+            return handle.loc[1]
+        return handle.owner_dir
+
+    def _alloc_data_block(self, handle: CNode, idx: int) -> int:
+        grouping = (
+            self.config.explicit_grouping
+            and handle.is_file
+            and not handle.is_large
+        )
+        if grouping and idx >= self.config.smallfile_max_blocks:
+            # The file just outgrew grouping: migrate and fall through.
+            self._ungroup_file(handle)
+            grouping = False
+        if grouping:
+            owner = self._owner_dir(handle)
+            if owner is not None:
+                bno = self._alloc_grouped(owner, handle, idx)
+                if bno is not None:
+                    return bno
+        return self._alloc_ungrouped(handle, idx)
+
+    def _alloc_grouped(self, owner: CNode, handle: CNode, idx: int) -> Optional[int]:
+        ext = self.groups.active_extent(owner.fileid)
+        if ext is not None:
+            bno = self.groups.take_slot(ext, handle.fileid, idx)
+            if bno is not None:
+                return bno
+        span = self.config.group_span
+        start = self.alloc.alloc_contiguous(owner.home_cg, span, align=span)
+        if start is None:
+            return None
+        self.sb["free_blocks"] = int(self.sb["free_blocks"]) - span
+        ext = self.groups.extent_of_block(start)
+        if ext is None or self.groups.extent_base(ext) != start:
+            raise CorruptFileSystem("contiguous run %d is not extent-aligned" % start)
+        self.groups.claim_extent(ext, owner.fileid)
+        bno = self.groups.take_slot(ext, handle.fileid, idx)
+        if bno is None:  # pragma: no cover - fresh extent always has slots
+            raise CorruptFileSystem("fresh extent has no free slot")
+        return bno
+
+    def _alloc_ungrouped(self, handle: CNode, idx: int) -> int:
+        pref_cg = handle.home_cg
+        if handle.is_dir:
+            # Directory data sits dense near the front of the group,
+            # like FFS keeps directories near the cylinder-group
+            # metadata, away from the file-data placement pattern.
+            bno = self.alloc.alloc_block(
+                pref_cg, pref_offset=int(self.sb["data_start"])
+            )
+        elif idx == 0:
+            spread = 0 if self.config.explicit_grouping else self.config.small_file_spread
+            bno = self.alloc.alloc_block(pref_cg, spread=spread)
+        else:
+            prev = mapping.bmap_lookup(self.cache, handle, idx - 1)
+            if prev and not self._block_is_grouped(prev):
+                prev_cg = self.alloc.cg_of_block(prev)
+                offset = prev - self.cg_base(prev_cg) + 1
+                bno = self.alloc.alloc_block(prev_cg, pref_offset=offset)
+            else:
+                bno = self.alloc.alloc_block(pref_cg)
+        self.groups.note_ungrouped_alloc(bno)
+        self.sb["free_blocks"] = int(self.sb["free_blocks"]) - 1
+        return bno
+
+    def _alloc_meta_block(self, handle: CNode) -> int:
+        bno = self.alloc.alloc_block(
+            handle.home_cg, pref_offset=int(self.sb["data_start"])
+        )
+        self.groups.note_ungrouped_alloc(bno)
+        self.sb["free_blocks"] = int(self.sb["free_blocks"]) - 1
+        return bno
+
+    def _alloc_ext_table_block(self) -> int:
+        bno = self.alloc.alloc_block(0, pref_offset=int(self.sb["data_start"]))
+        self.groups.note_ungrouped_alloc(bno)
+        self.sb["free_blocks"] = int(self.sb["free_blocks"]) - 1
+        return bno
+
+    def _block_is_grouped(self, bno: int) -> bool:
+        ext = self.groups.extent_of_block(bno)
+        if ext is None:
+            return False
+        return self.groups.read_desc(ext)["state"] == layout.EXT_GROUPED
+
+    def _free_file_block(self, handle: CNode, bno: int) -> None:
+        ext = self.groups.extent_of_block(bno)
+        if ext is not None:
+            desc = self.groups.read_desc(ext)
+            slot = bno - self.groups.extent_base(ext)
+            if desc["state"] == layout.EXT_GROUPED and desc["valid_mask"] & (1 << slot):
+                released = self.groups.free_slot(bno)
+                if released:
+                    base = self.groups.extent_base(ext)
+                    for i in range(self.config.group_span):
+                        self.alloc.free_block(base + i)
+                    self.sb["free_blocks"] = (
+                        int(self.sb["free_blocks"]) + self.config.group_span
+                    )
+                return
+        self.alloc.free_block(bno)
+        self.sb["free_blocks"] = int(self.sb["free_blocks"]) + 1
+        self.groups.note_ungrouped_free(bno, self.alloc.block_is_allocated)
+
+    def _ungroup_file(self, handle: CNode) -> None:
+        """Move a growing file's blocks out of explicit groups.
+
+        Placement of large files "remains unchanged and should exploit
+        clustering technology": the migrated blocks land in a
+        contiguous run when one is available.
+        """
+        grouped: List[Tuple[int, int]] = []
+        for idx, bno in mapping.enumerate_blocks(self.cache, handle):
+            ext = self.groups.extent_of_block(bno)
+            if ext is None:
+                continue
+            desc = self.groups.read_desc(ext)
+            slot = bno - self.groups.extent_base(ext)
+            if desc["state"] == layout.EXT_GROUPED and desc["valid_mask"] & (1 << slot):
+                grouped.append((idx, bno))
+        fid = handle.fileid
+        for idx, old_bno in grouped:
+            data = bytes(self.cache.get(old_bno, logical=(fid, idx)).data)
+            self.cache.forget(old_bno)
+            new_bno = self._alloc_ungrouped(handle, idx if idx else 0)
+            buf = self.cache.create(new_bno, logical=(fid, idx))
+            buf.data[:] = data
+            self.cache.mark_dirty(new_bno)
+            handle.direct[idx] = new_bno  # grouped blocks are always direct
+            self._free_file_block(handle, old_bno)
+        handle.mark_large()
+        self._istore(handle, sync_op=False)
+
+    # ------------------------------------------------------------------ maintenance
+
+    def regroup_directory(self, path: str) -> int:
+        """Re-co-locate a directory's small files into fresh groups.
+
+        Aging leaves groups with internal holes and files scattered
+        across half-empty extents.  This maintenance pass (the grouping
+        analogue of a log cleaner) walks the directory in name order,
+        copies each small file's blocks into freshly-claimed extents,
+        and releases the old slots.  Returns the number of blocks
+        moved.  Costs real (simulated) I/O: every moved block is read
+        and rewritten.
+
+        Stops early (without error) when no whole free extent remains.
+        """
+        self.cpu.charge_syscall()
+        dirh = self._resolve(path)
+        if not dirh.is_dir:
+            raise NotADirectory("%r is not a directory" % path)
+        if not self.config.explicit_grouping:
+            return 0
+        index = self._complete_index(dirh)
+        nodes = []
+        for name in sorted(index.names):
+            node = self._lookup(dirh, name)
+            if node.is_file and not node.is_large:
+                nodes.append(node)
+
+        span = self.config.group_span
+        plan: List[Tuple[CNode, int, int]] = []
+        for node in nodes:
+            for idx in range(min(self.config.smallfile_max_blocks, 12)):
+                if node.direct[idx]:
+                    plan.append((node, idx, node.direct[idx]))
+        if not plan:
+            return 0
+
+        # Claim every target extent up front so freshly-freed old
+        # extents cannot interleave with the new layout.
+        needed = -(-len(plan) // span)
+        extents = []
+        for _ in range(needed):
+            start = self.alloc.alloc_contiguous(dirh.home_cg, span, align=span)
+            if start is None:
+                break  # partial regroup with what is available
+            self.sb["free_blocks"] = int(self.sb["free_blocks"]) - span
+            ext = self.groups.extent_of_block(start)
+            self.groups.claim_extent(ext, dirh.fileid)
+            extents.append(ext)
+        if not extents:
+            return 0
+
+        moved = 0
+        ext_iter = iter(extents)
+        ext = next(ext_iter)
+        touched = set()
+        for node, idx, old in plan:
+            fid = node.fileid
+            new = self.groups.take_slot(ext, fid, idx)
+            if new is None:
+                nxt = next(ext_iter, None)
+                if nxt is None:
+                    break  # ran out of pre-claimed extents
+                ext = nxt
+                new = self.groups.take_slot(ext, fid, idx)
+            data = bytes(self.cache.get(old, logical=(fid, idx)).data)
+            self.cache.forget(old)
+            buf = self.cache.create(new, logical=(fid, idx))
+            buf.data[:] = data
+            self.cache.mark_dirty(new)
+            node.direct[idx] = new
+            self._free_file_block(node, old)
+            touched.add(node.fileid)
+            moved += 1
+        for node in nodes:
+            if node.fileid in touched:
+                self._istore(node, sync_op=False)
+        # Release pre-claimed extents that ended up unused.
+        for unused in ext_iter:
+            base = self.groups.extent_base(unused)
+            if self.groups.read_desc(unused)["valid_mask"] == 0:
+                desc = self.groups.read_desc(unused)
+                desc["state"] = layout.EXT_FREE
+                desc["owner"] = 0
+                self.groups.write_desc(unused, desc)
+                for i in range(span):
+                    self.alloc.free_block(base + i)
+                self.sb["free_blocks"] = int(self.sb["free_blocks"]) + span
+        return moved
+
+    # ------------------------------------------------------------------ group-aware I/O
+
+    def _fetch_data_blocks(self, handle: CNode, pairs: List[Tuple[int, int]]) -> None:
+        if not self.config.explicit_grouping:
+            super()._fetch_data_blocks(handle, pairs)
+            return
+        singles: List[Tuple[int, int]] = []
+        fetched_extents = set()
+        for idx, bno in pairs:
+            if self.cache.peek(bno) is not None:
+                continue
+            ext = self.groups.extent_of_block(bno)
+            if ext is None:
+                singles.append((idx, bno))
+                continue
+            if ext in fetched_extents:
+                continue
+            span = self.groups.live_span(ext)
+            if span is None:
+                singles.append((idx, bno))
+                continue
+            start, count, desc = span
+            data = self.cache.device.read_extent(start, count)
+            base = self.groups.extent_base(ext)
+            for slot in range(self.config.group_span):
+                if not desc["valid_mask"] & (1 << slot):
+                    continue
+                block = base + slot
+                if start <= block < start + count:
+                    slot_fileid, slot_fblock = desc["slots"][slot]
+                    self.cache.install(
+                        block, data[block - start],
+                        logical=(slot_fileid, slot_fblock),
+                    )
+            fetched_extents.add(ext)
+        if singles:
+            super()._fetch_data_blocks(handle, singles)
+
+    def _flush_companions(self, victim_bno: int) -> List[int]:
+        ext = self.groups.extent_of_block(victim_bno)
+        if ext is not None and self.config.explicit_grouping:
+            desc = self.groups.read_desc_cached(ext)
+            if desc is not None and desc["state"] == layout.EXT_GROUPED:
+                base = self.groups.extent_base(ext)
+                return [base + s for s in range(self.config.group_span)
+                        if desc["valid_mask"] & (1 << s)]
+        # Fall back to same-file contiguous clustering.
+        buf = self.cache.peek(victim_bno)
+        if buf is None or buf.logical is None:
+            return [victim_bno]
+        fid, idx = buf.logical
+        companions = [victim_bno]
+        for direction in (1, -1):
+            step = 1
+            while step <= 64:
+                sibling = self.cache.get_logical((fid, idx + direction * step))
+                if (
+                    sibling is None
+                    or not sibling.dirty
+                    or sibling.bno != victim_bno + direction * step
+                ):
+                    break
+                companions.append(sibling.bno)
+                step += 1
+        return companions
+
+    # ------------------------------------------------------------------ directories
+
+    def _index_for(self, dirh: CNode) -> _DirIndex:
+        index = self._dir_index.get(dirh.fileid)
+        if index is None:
+            index = _DirIndex()
+            self._dir_index[dirh.fileid] = index
+        return index
+
+    def _scan_until(self, dirh: CNode, index: _DirIndex,
+                    name: Optional[str] = None) -> None:
+        """Scan directory blocks into the index, stopping early once
+        ``name`` is found; ``name=None`` scans to the end."""
+        nblocks = dirh.size // BLOCK_SIZE
+        entries_seen = 0
+        while index.scanned_blocks < nblocks:
+            blk = index.scanned_blocks
+            bno = self._dir_block_bno(dirh, blk)
+            data = bytes(self.cache.get(bno, logical=(dirh.fileid, blk)).data)
+            for _sector, entry in dirfmt.iter_block(data):
+                entry_off, _reclen, etype, kind, entry_name, payload_off = entry
+                if etype == dirfmt.ET_FREE:
+                    continue
+                ident = self._entry_ident(data, etype, payload_off)
+                index.names[entry_name] = (
+                    etype, kind, blk, entry_off, payload_off, ident,
+                )
+                entries_seen += 1
+            for sector in range(layout.SECTORS_PER_DIR_BLOCK):
+                index.sector_free[(blk, sector)] = dirfmt.sector_free_bytes(data, sector)
+            index.scanned_blocks += 1
+            if name is not None and name in index.names:
+                break
+        if index.scanned_blocks >= nblocks:
+            index.complete = True
+        self.cpu.charge_dirent_scan(entries_seen)
+
+    def _find_entry(self, dirh: CNode, name: str):
+        """The index entry for ``name``, scanning as far as needed."""
+        index = self._index_for(dirh)
+        info = index.names.get(name)
+        if info is None and not index.complete:
+            self._scan_until(dirh, index, name)
+            info = index.names.get(name)
+        return info
+
+    def _complete_index(self, dirh: CNode) -> _DirIndex:
+        """The fully-scanned index (needed for absence checks)."""
+        index = self._index_for(dirh)
+        if not index.complete:
+            self._scan_until(dirh, index)
+        return index
+
+    @staticmethod
+    def _entry_ident(data: bytes, etype: int, payload_off: int) -> int:
+        if etype == dirfmt.ET_EMBEDDED:
+            return layout.unpack_cinode(
+                data[payload_off:payload_off + layout.CINODE_SIZE]
+            )["fileid"]
+        return struct.unpack_from("<Q", data, payload_off)[0]
+
+    def _dir_block_bno(self, dirh: CNode, blk: int) -> int:
+        bno = mapping.bmap_lookup(self.cache, dirh, blk)
+        if bno == 0:
+            raise CorruptFileSystem(
+                "directory %d has a hole at block %d" % (dirh.fileid, blk)
+            )
+        return bno
+
+    def _dir_insert(
+        self, dirh: CNode, name: str, etype: int, kind: int, payload: bytes
+    ) -> Tuple[int, int, int, int]:
+        """Insert an entry; returns (blk, bno, entry_off, payload_off).
+
+        The caller performs the policy write of ``bno`` — insertion only
+        mutates the cached block.
+        """
+        index = self._complete_index(dirh)
+        needed = layout.dent_size(len(name.encode("utf-8")), etype)
+        target: Optional[Tuple[int, int]] = None
+        for (blk, sector), free in index.sector_free.items():
+            if free >= needed:
+                target = (blk, sector)
+                break
+        if target is None:
+            blk = self._grow_directory(dirh)
+            target = (blk, 0)
+        blk, sector = target
+        bno = self._dir_block_bno(dirh, blk)
+        buf = self.cache.get(bno, logical=(dirh.fileid, blk))
+        payload_off = dirfmt.add_entry(buf.data, sector, name, etype, kind, payload)
+        if payload_off is None:
+            raise CorruptFileSystem("sector free-space accounting disagrees")
+        data = bytes(buf.data)
+        index.sector_free[(blk, sector)] = dirfmt.sector_free_bytes(data, sector)
+        ident = self._entry_ident(data, etype, payload_off)
+        entry_off = None
+        for s, entry in dirfmt.iter_block(data):
+            if s == sector and entry[5] == payload_off:
+                entry_off = entry[0]
+                break
+        if entry_off is None:  # pragma: no cover - defensive
+            raise CorruptFileSystem("inserted entry not found")
+        index.names[name] = (etype, kind, blk, entry_off, payload_off, ident)
+        dirh.mtime = self.device.clock.now
+        self._istore(dirh, sync_op=False)
+        return blk, bno, entry_off, payload_off
+
+    def _grow_directory(self, dirh: CNode) -> int:
+        blk = dirh.size // BLOCK_SIZE
+        bno, _created = mapping.bmap_ensure(
+            self.cache, dirh, blk,
+            alloc_data=lambda: self._alloc_data_block(dirh, blk),
+            alloc_meta=lambda: self._alloc_meta_block(dirh),
+        )
+        buf = self.cache.create(bno, logical=(dirh.fileid, blk))
+        buf.data[:] = dirfmt.init_dir_block()
+        self._meta_write(bno)
+        dirh.nblocks += 1
+        dirh.size += BLOCK_SIZE
+        self._istore(dirh, sync_op=True)
+        index = self._dir_index.get(dirh.fileid)
+        if index is not None:
+            for sector in range(layout.SECTORS_PER_DIR_BLOCK):
+                index.sector_free[(blk, sector)] = dirfmt.sector_free_bytes(
+                    bytes(buf.data), sector
+                )
+            if index.complete:
+                index.scanned_blocks = blk + 1
+        return blk
+
+    def _dir_remove(self, dirh: CNode, name: str) -> int:
+        """Remove an entry from the cached block; returns the block's bno.
+
+        The caller performs the policy write."""
+        info = self._find_entry(dirh, name)
+        index = self._index_for(dirh)
+        if info is None:
+            raise FileNotFound("no entry %r" % name)
+        _etype, _kind, blk, _entry_off, _payload_off, _ident = info
+        bno = self._dir_block_bno(dirh, blk)
+        buf = self.cache.get(bno, logical=(dirh.fileid, blk))
+        removed = dirfmt.remove_entry(buf.data, name)
+        if removed is None:
+            raise CorruptFileSystem("index and block disagree on %r" % name)
+        sector, _ = removed
+        index.sector_free[(blk, sector)] = dirfmt.sector_free_bytes(
+            bytes(buf.data), sector
+        )
+        del index.names[name]
+        dirh.mtime = self.device.clock.now
+        self._istore(dirh, sync_op=False)
+        return bno
+
+    # ------------------------------------------------------------------ VFS internals
+
+    def _root_handle(self) -> CNode:
+        assert self._root is not None
+        return self._root
+
+    def _kind_of(self, handle: CNode) -> FileKind:
+        return FileKind.DIRECTORY if handle.is_dir else FileKind.FILE
+
+    def _lookup(self, dirh: CNode, name: str) -> CNode:
+        info = self._find_entry(dirh, name)
+        if info is None:
+            raise FileNotFound("no entry %r in directory %d" % (name, dirh.fileid))
+        etype, _kind, blk, entry_off, payload_off, ident = info
+        if etype == dirfmt.ET_EMBEDDED:
+            node = self._icache.get(ident)
+            if node is None:
+                bno = self._dir_block_bno(dirh, blk)
+                buf = self.cache.get(bno, logical=(dirh.fileid, blk))
+                node = CNode.unpack(
+                    bytes(buf.data[payload_off:payload_off + layout.CINODE_SIZE])
+                )
+                node.loc = (LOC_DIR, dirh, blk, entry_off, payload_off)
+                node.home_cg = dirh.home_cg
+                self._icache[node.fileid] = node
+            return node
+        # External entry: ident is the external inode number.
+        return self._ext_cache_get(ident, dirh)
+
+    def _ext_cache_get(self, inum: int, naming_dir: Optional[CNode] = None) -> CNode:
+        node = self.ext.get(inum)
+        cached = self._icache.get(node.fileid)
+        if cached is not None:
+            node = cached
+        else:
+            self._icache[node.fileid] = node
+        if naming_dir is not None and node.owner_dir is None:
+            node.owner_dir = naming_dir
+            node.home_cg = naming_dir.home_cg
+        return node
+
+    def _create_file(self, dirh: CNode, name: str) -> CNode:
+        return self._create_node(dirh, name, layout.MODE_FILE, dirfmt.DK_FILE)
+
+    def _make_directory(self, dirh: CNode, name: str) -> CNode:
+        node = self._create_node(dirh, name, layout.MODE_DIR, dirfmt.DK_DIR)
+        node.home_cg = self._pick_dir_cg()
+        return node
+
+    def _create_node(self, dirh: CNode, name: str, mode: int, kind: int) -> CNode:
+        index = self._complete_index(dirh)
+        if name in index.names:
+            raise FileExists("%r already exists" % name)
+        node = CNode(self._next_fileid())
+        node.init_as(mode, gen=self._next_gen(), mtime=self.device.clock.now)
+        node.home_cg = dirh.home_cg
+        node.owner_dir = dirh
+        if self.config.embedded_inodes:
+            blk, bno, entry_off, payload_off = self._dir_insert(
+                dirh, name, dirfmt.ET_EMBEDDED, kind, node.pack()
+            )
+            node.loc = (LOC_DIR, dirh, blk, entry_off, payload_off)
+            self._meta_write(bno)  # the single ordering write
+        else:
+            inum = self.ext.allocate(node, sync=True)  # inode before name
+            _blk, bno, _eo, _po = self._dir_insert(
+                dirh, name, dirfmt.ET_EXTERNAL, kind, struct.pack("<Q", inum)
+            )
+            self._meta_write(bno)
+        self._icache[node.fileid] = node
+        return node
+
+    def _unlink(self, dirh: CNode, name: str) -> None:
+        info = self._find_entry(dirh, name)
+        if info is None:
+            raise FileNotFound("no entry %r" % name)
+        etype, kind, _blk, _eo, _po, ident = info
+        if kind == dirfmt.DK_DIR:
+            raise IsADirectory("%r is a directory (use rmdir)" % name)
+        if etype == dirfmt.ET_EMBEDDED:
+            node = self._lookup(dirh, name)
+            bno = self._dir_remove(dirh, name)
+            self._meta_write(bno)  # name + inode vanish atomically
+            self._release_all_blocks(node)
+            self._icache.pop(node.fileid, None)
+        else:
+            node = self._ext_cache_get(ident)
+            bno = self._dir_remove(dirh, name)
+            self._meta_write(bno)  # name removal first
+            node.nlink -= 1
+            self.ext.store(ident, node, sync=True)  # dropped link count
+            if node.nlink == 0:
+                self._release_all_blocks(node)
+                # "Inactive"-time reclamation writes the slot once more,
+                # matching the 4.4BSD unlink sequence the baseline pays.
+                self.ext.free(ident, sync=True)
+                self._icache.pop(node.fileid, None)
+
+    def _rmdir(self, dirh: CNode, name: str) -> None:
+        info = self._find_entry(dirh, name)
+        if info is None:
+            raise FileNotFound("no entry %r" % name)
+        if info[1] != dirfmt.DK_DIR:
+            raise NotADirectory("%r is not a directory" % name)
+        victim = self._lookup(dirh, name)
+        victim_index = self._complete_index(victim)
+        if victim_index.names:
+            raise DirectoryNotEmpty("%r is not empty" % name)
+        bno = self._dir_remove(dirh, name)
+        self._meta_write(bno)
+        self._release_all_blocks(victim)
+        self._icache.pop(victim.fileid, None)
+        self._dir_index.pop(victim.fileid, None)
+
+    def _link(self, handle: CNode, dirh: CNode, name: str) -> None:
+        index = self._complete_index(dirh)
+        if name in index.names:
+            raise FileExists("%r already exists" % name)
+        if handle.loc[0] == LOC_DIR:
+            self._externalize(handle)
+        if handle.loc[0] == LOC_SUPER:
+            raise IsADirectory("cannot hard-link the root")
+        inum = handle.loc[1]
+        handle.nlink += 1
+        self.ext.store(inum, handle, sync=True)
+        _blk, bno, _eo, _po = self._dir_insert(
+            dirh, name, dirfmt.ET_EXTERNAL, dirfmt.DK_FILE, struct.pack("<Q", inum)
+        )
+        self._meta_write(bno)
+
+    def _externalize(self, handle: CNode) -> None:
+        """Move an embedded inode to the external table (second link)."""
+        _, parent, blk, entry_off, _payload_off = handle.loc
+        inum = self.ext.allocate(handle, sync=True)  # external copy first
+        bno = self._dir_block_bno(parent, blk)
+        buf = self.cache.get(bno, logical=(parent.fileid, blk))
+        new_payload_off = dirfmt.change_entry_type(
+            buf.data, entry_off, dirfmt.ET_EXTERNAL, struct.pack("<Q", inum)
+        )
+        self._meta_write(bno)
+        handle.loc = (LOC_EXT, inum)
+        # Refresh the directory's index entry.
+        pindex = self._dir_index.get(parent.fileid)
+        if pindex is not None:
+            for name, info in list(pindex.names.items()):
+                if info[2] == blk and info[3] == entry_off:
+                    pindex.names[name] = (
+                        dirfmt.ET_EXTERNAL, info[1], blk, entry_off,
+                        new_payload_off, inum,
+                    )
+                    pindex.sector_free[(blk, entry_off // layout.SECTOR_SIZE)] = (
+                        dirfmt.sector_free_bytes(
+                            bytes(buf.data), entry_off // layout.SECTOR_SIZE
+                        )
+                    )
+                    break
+
+    def _rename(self, src_dir: CNode, old: str, dst_dir: CNode, new: str) -> None:
+        info = self._find_entry(src_dir, old)
+        if info is None:
+            raise FileNotFound("no entry %r" % old)
+        etype, kind, _blk, _eo, _po, ident = info
+        node = self._lookup(src_dir, old)
+        dst_index = self._complete_index(dst_dir)
+        existing = dst_index.names.get(new)
+        if existing is not None:
+            if existing[5] == ident and existing[0] == etype:
+                return
+            if kind == dirfmt.DK_FILE and existing[1] == dirfmt.DK_FILE:
+                self._unlink(dst_dir, new)
+            else:
+                raise FileExists("%r already exists" % new)
+        if etype == dirfmt.ET_EMBEDDED:
+            payload = node.pack()
+        else:
+            payload = struct.pack("<Q", ident)
+        # New name first, then old-name removal.
+        blk, bno, entry_off, payload_off = self._dir_insert(
+            dst_dir, new, etype, kind, payload
+        )
+        self._meta_write(bno)
+        if etype == dirfmt.ET_EMBEDDED:
+            node.loc = (LOC_DIR, dst_dir, blk, entry_off, payload_off)
+            node.home_cg = dst_dir.home_cg
+        src_bno = self._dir_remove(src_dir, old)
+        self._meta_write(src_bno)
+        if node.is_dir:
+            self._dir_index.pop(node.fileid, None)
+
+    def _stat_handle(self, handle: CNode) -> StatResult:
+        grouped = False
+        if handle.is_file and handle.direct[0]:
+            grouped = self._block_is_grouped(handle.direct[0])
+        return StatResult(
+            kind=self._kind_of(handle),
+            size=handle.size,
+            nlink=handle.nlink,
+            nblocks=handle.nblocks,
+            file_id=handle.fileid,
+            embedded=handle.loc[0] in (LOC_DIR, LOC_SUPER),
+            grouped=grouped,
+        )
+
+    def _readdir(self, dirh: CNode) -> List[str]:
+        names: List[str] = []
+        nblocks = dirh.size // BLOCK_SIZE
+        for blk in range(nblocks):
+            bno = self._dir_block_bno(dirh, blk)
+            data = bytes(self.cache.get(bno, logical=(dirh.fileid, blk)).data)
+            for _sector, entry in dirfmt.live_entries(data):
+                names.append(entry[4])
+        self.cpu.charge_dirent_scan(len(names))
+        return names
+
+    def _pick_dir_cg(self) -> int:
+        n = int(self.sb["n_cgs"])
+        best = max(range(n), key=lambda c: self.alloc.group(c).free_blocks)
+        return best
+
+    # ------------------------------------------------------------------ sync & caches
+
+    def _write_back_metadata(self) -> None:
+        self._store_superblock(sync_op=False)
+        self.alloc.store_descriptors()
+
+    def _drop_private_caches(self) -> None:
+        root = self._root
+        self._icache.clear()
+        self._dir_index.clear()
+        self._seq_state.clear()
+        self.alloc.drop_mirrors()
+        self.groups.drop_hints()
+        self.ext.drop_hints()
+        if root is not None:
+            self._icache[ROOT_FILEID] = root
+
+    # ------------------------------------------------------------------ introspection
+
+    def free_blocks(self) -> int:
+        return int(self.sb["free_blocks"])
+
+    def total_data_blocks(self) -> int:
+        data_area = int(self.sb["blocks_per_cg"]) - int(self.sb["data_start"])
+        usable = (data_area // self.config.group_span) * self.config.group_span
+        return int(self.sb["n_cgs"]) * usable
+
+
+def make_cffs(
+    profile=None,
+    config: Optional[CFFSConfig] = None,
+    device: Optional[BlockDevice] = None,
+) -> CFFS:
+    """Convenience factory: a fresh C-FFS on a fresh simulated disk."""
+    if device is None:
+        from repro.disk.profiles import SEAGATE_ST31200
+
+        device = BlockDevice(profile if profile is not None else SEAGATE_ST31200)
+    return CFFS.mkfs(device, config)

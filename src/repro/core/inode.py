@@ -1,0 +1,109 @@
+"""In-memory C-FFS inodes.
+
+A :class:`CNode` is the parsed form of one 96-byte C-FFS inode plus a
+*location*: embedded in a directory block, externalized in the inode
+file, or resident in the superblock (the root).  The location is what
+``_istore`` uses to write the inode back; embedded entries never move
+within their sector, so locations stay valid until rename or
+externalization updates them explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.core import layout
+
+FLAG_LARGE = 0x1  # file outgrew explicit grouping and was migrated out
+
+# Location tags.
+LOC_SUPER = "super"
+LOC_DIR = "dir"
+LOC_EXT = "ext"
+
+
+class CNode:
+    """A parsed C-FFS inode with identity and write-back location."""
+
+    __slots__ = (
+        "fileid", "mode", "nlink", "flags", "gen", "size", "mtime",
+        "direct", "indirect", "dindirect", "nblocks",
+        "loc", "home_cg", "owner_dir",
+    )
+
+    def __init__(self, fileid: int) -> None:
+        self.fileid = fileid
+        self.mode = layout.MODE_FREE
+        self.nlink = 0
+        self.flags = 0
+        self.gen = 0
+        self.size = 0
+        self.mtime = 0.0
+        self.direct: List[int] = [0] * 12
+        self.indirect = 0
+        self.dindirect = 0
+        self.nblocks = 0
+        # loc: (LOC_SUPER,) | (LOC_DIR, parent CNode, blk, payload_off) |
+        #      (LOC_EXT, inum)
+        self.loc: Tuple[Any, ...] = (LOC_SUPER,)
+        self.home_cg = 0        # allocation locality hint (in-memory only)
+        # The directory that most recently named this file; grouping
+        # places its data in that directory's groups even when the
+        # inode is externalized (in-memory hint only).
+        self.owner_dir: Optional["CNode"] = None
+
+    @property
+    def is_dir(self) -> bool:
+        return self.mode == layout.MODE_DIR
+
+    @property
+    def is_file(self) -> bool:
+        return self.mode == layout.MODE_FILE
+
+    @property
+    def is_large(self) -> bool:
+        return bool(self.flags & FLAG_LARGE)
+
+    def mark_large(self) -> None:
+        self.flags |= FLAG_LARGE
+
+    def init_as(self, mode: int, gen: int, mtime: float) -> None:
+        self.mode = mode
+        self.nlink = 1
+        self.flags = 0
+        self.gen = gen
+        self.size = 0
+        self.mtime = mtime
+        self.direct = [0] * 12
+        self.indirect = 0
+        self.dindirect = 0
+        self.nblocks = 0
+
+    def pack(self) -> bytes:
+        return layout.pack_cinode(
+            self.fileid, self.mode, self.nlink, self.flags, self.gen,
+            self.size, self.mtime, self.direct, self.indirect,
+            self.dindirect, self.nblocks,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "CNode":
+        fields = layout.unpack_cinode(data)
+        node = cls(fields["fileid"])
+        node.mode = fields["mode"]
+        node.nlink = fields["nlink"]
+        node.flags = fields["flags"]
+        node.gen = fields["gen"]
+        node.size = fields["size"]
+        node.mtime = fields["mtime"]
+        node.direct = fields["direct"]
+        node.indirect = fields["indirect"]
+        node.dindirect = fields["dindirect"]
+        node.nblocks = fields["nblocks"]
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = {0: "free", 1: "file", 2: "dir"}.get(self.mode, "?")
+        return "CNode(fileid=%d, %s, size=%d, loc=%s)" % (
+            self.fileid, kind, self.size, self.loc[0],
+        )

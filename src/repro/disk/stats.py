@@ -1,0 +1,118 @@
+"""Per-drive statistics.
+
+Every experiment in the paper is ultimately explained by request counts
+and where the time went (positioning vs. transfer), so the drive keeps
+both.  The "order of magnitude fewer disk accesses" claim is checked
+directly against these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One host-visible disk request (for the optional request log)."""
+
+    op: str            # "read" | "write"
+    lba: int
+    nsectors: int
+    issue: float       # simulated time the request arrived
+    completion: float  # simulated time the host saw it finish
+    source: str        # "media" | "cache" | "buffer"
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.issue
+
+
+@dataclass
+class DiskStats:
+    """Counters accumulated by a :class:`~repro.disk.drive.SimulatedDisk`."""
+
+    reads: int = 0
+    writes: int = 0
+    sectors_read: int = 0
+    sectors_written: int = 0
+    cache_hits: int = 0          # read requests served from on-board cache
+    write_absorbed: int = 0      # writes absorbed by the write-behind buffer
+    seek_time: float = 0.0
+    rotation_time: float = 0.0
+    transfer_time: float = 0.0
+    overhead_time: float = 0.0
+    bus_time: float = 0.0
+    stall_time: float = 0.0      # host stalls waiting for write-buffer space
+    request_sizes: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_requests(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def bytes_read(self) -> int:
+        return self.sectors_read * 512
+
+    @property
+    def bytes_written(self) -> int:
+        return self.sectors_written * 512
+
+    @property
+    def mechanical_time(self) -> float:
+        return self.seek_time + self.rotation_time + self.transfer_time
+
+    def record_request(self, is_write: bool, nsectors: int) -> None:
+        if is_write:
+            self.writes += 1
+            self.sectors_written += nsectors
+        else:
+            self.reads += 1
+            self.sectors_read += nsectors
+        self.request_sizes[nsectors] = self.request_sizes.get(nsectors, 0) + 1
+
+    def snapshot(self) -> "DiskStats":
+        """A copy, so callers can diff before/after a benchmark phase."""
+        copy = DiskStats(
+            reads=self.reads,
+            writes=self.writes,
+            sectors_read=self.sectors_read,
+            sectors_written=self.sectors_written,
+            cache_hits=self.cache_hits,
+            write_absorbed=self.write_absorbed,
+            seek_time=self.seek_time,
+            rotation_time=self.rotation_time,
+            transfer_time=self.transfer_time,
+            overhead_time=self.overhead_time,
+            bus_time=self.bus_time,
+            stall_time=self.stall_time,
+        )
+        copy.request_sizes = dict(self.request_sizes)
+        return copy
+
+    def delta(self, earlier: "DiskStats") -> "DiskStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        out = DiskStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            sectors_read=self.sectors_read - earlier.sectors_read,
+            sectors_written=self.sectors_written - earlier.sectors_written,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            write_absorbed=self.write_absorbed - earlier.write_absorbed,
+            seek_time=self.seek_time - earlier.seek_time,
+            rotation_time=self.rotation_time - earlier.rotation_time,
+            transfer_time=self.transfer_time - earlier.transfer_time,
+            overhead_time=self.overhead_time - earlier.overhead_time,
+            bus_time=self.bus_time - earlier.bus_time,
+            stall_time=self.stall_time - earlier.stall_time,
+        )
+        sizes: Dict[int, int] = {}
+        for size, count in self.request_sizes.items():
+            diff = count - earlier.request_sizes.get(size, 0)
+            if diff:
+                sizes[size] = diff
+        out.request_sizes = sizes
+        return out
+
+    def reset(self) -> None:
+        self.__init__()  # type: ignore[misc]

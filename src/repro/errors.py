@@ -1,0 +1,93 @@
+"""Exception hierarchy for the C-FFS reproduction.
+
+File system errors deliberately mirror POSIX errno semantics so that the
+workloads and examples can treat FFS and C-FFS uniformly.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class DiskError(ReproError):
+    """Base class for simulated-disk errors."""
+
+
+class AddressError(DiskError):
+    """A sector or block address fell outside the device."""
+
+
+class FileSystemError(ReproError):
+    """Base class for file system errors (POSIX-flavoured)."""
+
+    errno_name = "EIO"
+
+
+class FileNotFound(FileSystemError):
+    """Path component does not exist (ENOENT)."""
+
+    errno_name = "ENOENT"
+
+
+class FileExists(FileSystemError):
+    """Target name already exists (EEXIST)."""
+
+    errno_name = "EEXIST"
+
+
+class NotADirectory(FileSystemError):
+    """A non-directory appeared where a directory was required (ENOTDIR)."""
+
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(FileSystemError):
+    """A directory appeared where a file was required (EISDIR)."""
+
+    errno_name = "EISDIR"
+
+
+class DirectoryNotEmpty(FileSystemError):
+    """rmdir of a non-empty directory (ENOTEMPTY)."""
+
+    errno_name = "ENOTEMPTY"
+
+
+class NoSpace(FileSystemError):
+    """The file system is out of blocks or inodes (ENOSPC)."""
+
+    errno_name = "ENOSPC"
+
+
+class InvalidArgument(FileSystemError):
+    """Bad offset, name, or flag combination (EINVAL)."""
+
+    errno_name = "EINVAL"
+
+
+class NameTooLong(FileSystemError):
+    """A path component exceeds the maximum name length (ENAMETOOLONG)."""
+
+    errno_name = "ENAMETOOLONG"
+
+
+class BadFileDescriptor(FileSystemError):
+    """Operation on a closed or unknown file descriptor (EBADF)."""
+
+    errno_name = "EBADF"
+
+
+class CrossDevice(FileSystemError):
+    """Rename or link across file systems (EXDEV)."""
+
+    errno_name = "EXDEV"
+
+
+class CorruptFileSystem(FileSystemError):
+    """An on-disk structure failed a sanity check."""
+
+    errno_name = "EIO"
+
+
+class FsckError(ReproError):
+    """The offline checker found an inconsistency it could not repair."""

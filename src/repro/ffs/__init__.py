@@ -1,0 +1,13 @@
+"""The conventional Fast File System baseline.
+
+This is the comparator the paper calls "the same file system without
+these techniques": cylinder groups, a static inode table per group,
+name-only directory entries, and FFS allocation policies (inodes in the
+parent directory's cylinder group, data near the owning inode, spill to
+the next group when full).  Blocks are 4 KB with no fragments, matching
+the paper's implementation.
+"""
+
+from repro.ffs.filesystem import FFS, FFSConfig, make_ffs
+
+__all__ = ["FFS", "FFSConfig", "make_ffs"]

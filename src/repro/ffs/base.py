@@ -1,0 +1,277 @@
+"""File data I/O shared by the FFS baseline and C-FFS.
+
+Both file systems move file contents through the same code: block
+mapping via :mod:`repro.ffs.mapping`, whole-block writes that avoid
+read-modify-write, batched miss reads (C-LOOK + coalescing, i.e.
+[McVoy91]-style clustering for large files), and truncation.  What
+differs per system is *placement* (where new blocks go) and *metadata
+persistence* (where the inode lives) — those are the abstract methods.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.blockdev.device import BLOCK_SIZE
+from repro.cache.buffercache import BufferCache
+from repro.cache.policy import MetadataPolicy
+from repro.clock import CpuModel
+from repro.errors import InvalidArgument
+from repro.ffs import mapping
+from repro.vfs.interface import FileSystem
+
+Handle = Any
+
+
+class BlockFileSystem(FileSystem):
+    """Common machinery: data paths, per-policy metadata writes."""
+
+    def __init__(
+        self,
+        cache: BufferCache,
+        cpu: CpuModel,
+        policy: MetadataPolicy,
+        file_readahead_blocks: int = 0,
+    ) -> None:
+        super().__init__(cache, cpu)
+        self.policy = policy
+        # File-level sequential prefetch (the paper's implementation
+        # "currently does not support prefetching"; this is the
+        # future-work feature, disabled by default to match the paper).
+        self.file_readahead_blocks = file_readahead_blocks
+        # fileid -> (next expected block index, streak length)
+        self._seq_state: Dict[int, Tuple[int, int]] = {}
+
+    # -- per-policy metadata write ------------------------------------------------
+
+    def _meta_write(self, bno: int) -> None:
+        """Write a metadata block per the configured integrity mode."""
+        if self.policy.is_sync:
+            self.cache.write_sync(bno)
+        else:
+            self.cache.mark_dirty(bno)
+
+    # -- abstract placement / persistence -----------------------------------------
+
+    @abc.abstractmethod
+    def _alloc_data_block(self, handle: Handle, idx: int) -> int:
+        """Allocate the disk block for file block ``idx`` of ``handle``."""
+
+    @abc.abstractmethod
+    def _alloc_meta_block(self, handle: Handle) -> int:
+        """Allocate an indirect block for ``handle``."""
+
+    @abc.abstractmethod
+    def _free_file_block(self, handle: Handle, bno: int) -> None:
+        """Return a data/indirect block of ``handle`` to the allocator."""
+
+    @abc.abstractmethod
+    def _istore(self, handle: Handle, sync_op: bool = False) -> None:
+        """Persist the handle's inode.  ``sync_op`` marks updates that
+        carry ordering requirements (create/delete); size/mtime updates
+        pass False and are always delayed."""
+
+    @abc.abstractmethod
+    def _file_id(self, handle: Handle) -> int:
+        """Stable identity used for the cache's logical index."""
+
+    @abc.abstractmethod
+    def _metadata_block_of(self, handle: Handle) -> int:
+        """The disk block holding the handle's on-disk inode (used by
+        fsync to force it out even under delayed-metadata policy)."""
+
+    def _fsync_metadata(self, handle: Handle) -> int:
+        """Force the handle's inode to disk (fsync's metadata half).
+
+        The default persists the inode's own block — classic POSIX
+        fsync, which does *not* guarantee the directory entry.  C-FFS
+        overrides this to walk the embedding chain, because its names
+        and inodes are physically inseparable.  (Inode buffers are
+        written through on every mutation, so flushing the block
+        suffices; a clean inode costs nothing.)
+        """
+        return self.cache.flush_blocks([self._metadata_block_of(handle)])
+
+    def _fetch_data_blocks(self, handle: Handle, pairs: List[Tuple[int, int]]) -> None:
+        """Ensure the given (file idx, disk block) pairs are cached.
+
+        Subclasses may override to fetch more than asked (C-FFS reads
+        whole groups).  The default batches the misses through the
+        device so physically adjacent blocks coalesce.
+        """
+        fid = self._file_id(handle)
+        missing = [(idx, bno) for idx, bno in pairs if self.cache.peek(bno) is None]
+        if not missing:
+            return
+        if len(missing) == 1:
+            idx, bno = missing[0]
+            self.cache.get(bno, logical=(fid, idx))
+            return
+        data = self.cache.device.read_batch([bno for _, bno in missing])
+        for idx, bno in missing:
+            self.cache.install(bno, data[bno], logical=(fid, idx))
+
+    # -- data paths -----------------------------------------------------------------
+
+    def _read(self, handle: Handle, offset: int, size: int) -> bytes:
+        if offset < 0 or size < 0:
+            raise InvalidArgument("negative read offset or size")
+        file_size = handle.size
+        if offset >= file_size or size == 0:
+            return b""
+        size = min(size, file_size - offset)
+        first = offset // BLOCK_SIZE
+        last = (offset + size - 1) // BLOCK_SIZE
+
+        located: List[Tuple[int, int]] = []
+        holes = set()
+        for idx in range(first, last + 1):
+            bno = mapping.bmap_lookup(self.cache, handle, idx)
+            if bno == 0:
+                holes.add(idx)
+            else:
+                located.append((idx, bno))
+        self._fetch_data_blocks(handle, located)
+        self._maybe_readahead(handle, first, last)
+
+        fid = self._file_id(handle)
+        by_idx = dict(located)
+        chunks: List[bytes] = []
+        for idx in range(first, last + 1):
+            if idx in holes:
+                block = b"\0" * BLOCK_SIZE
+            else:
+                block = bytes(self.cache.get(by_idx[idx], logical=(fid, idx)).data)
+            lo = offset - idx * BLOCK_SIZE if idx == first else 0
+            hi = offset + size - idx * BLOCK_SIZE if idx == last else BLOCK_SIZE
+            chunks.append(block[max(0, lo):hi])
+        return b"".join(chunks)
+
+    def _maybe_readahead(self, handle: Handle, first: int, last: int) -> None:
+        """Sequential-pattern detection plus bounded read-ahead.
+
+        After the second consecutive sequential read of a file, the
+        next ``file_readahead_blocks`` blocks are fetched through the
+        normal (group-aware, batched) path.  No-op unless enabled.
+        """
+        if self.file_readahead_blocks <= 0:
+            return
+        fid = self._file_id(handle)
+        expected, streak = self._seq_state.get(fid, (-1, 0))
+        streak = streak + 1 if first == expected else 1
+        self._seq_state[fid] = (last + 1, streak)
+        if streak < 2:
+            return
+        max_idx = (handle.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        ahead: List[Tuple[int, int]] = []
+        for idx in range(last + 1, min(last + 1 + self.file_readahead_blocks, max_idx)):
+            bno = mapping.bmap_lookup(self.cache, handle, idx)
+            if bno:
+                ahead.append((idx, bno))
+        if ahead:
+            self._fetch_data_blocks(handle, ahead)
+
+    def _write(self, handle: Handle, offset: int, data: bytes) -> int:
+        if offset < 0:
+            raise InvalidArgument("negative write offset")
+        if not data:
+            return 0
+        fid = self._file_id(handle)
+        end = offset + len(data)
+        first = offset // BLOCK_SIZE
+        last = (end - 1) // BLOCK_SIZE
+
+        def cover(idx: int):
+            block_lo = idx * BLOCK_SIZE
+            lo = max(offset, block_lo) - block_lo
+            hi = min(end, block_lo + BLOCK_SIZE) - block_lo
+            # No read-modify-write when the write covers the whole block
+            # or everything from its start through (at least) EOF --
+            # bytes past EOF are undefined and read back as zeros anyway.
+            covers_to_eof = lo == 0 and block_lo + hi >= handle.size
+            full = (lo == 0 and hi == BLOCK_SIZE) or covers_to_eof
+            return lo, hi, full
+
+        # Pass 1: fetch existing partially-covered blocks (group-aware,
+        # batched) before any allocation happens — allocation may migrate
+        # a growing file's blocks, so block numbers are only final in
+        # pass 2.
+        rmw = []
+        for idx in range(first, last + 1):
+            _lo, _hi, full = cover(idx)
+            if full:
+                continue
+            bno = mapping.bmap_lookup(self.cache, handle, idx)
+            if bno:
+                rmw.append((idx, bno))
+        if rmw:
+            self._fetch_data_blocks(handle, rmw)
+
+        # Pass 2: allocate and write block by block.
+        created = 0
+        pos = 0
+        for idx in range(first, last + 1):
+            lo, hi, full = cover(idx)
+            bno, was_created = mapping.bmap_ensure(
+                self.cache, handle, idx,
+                alloc_data=lambda i=idx: self._alloc_data_block(handle, i),
+                alloc_meta=lambda: self._alloc_meta_block(handle),
+            )
+            if was_created:
+                created += 1
+            if was_created or full:
+                buf = self.cache.create(bno, logical=(fid, idx))
+            else:
+                buf = self.cache.get(bno, logical=(fid, idx))
+            buf.data[lo:hi] = data[pos:pos + (hi - lo)]
+            self.cache.mark_dirty(bno)
+            pos += hi - lo
+
+        handle.nblocks += created
+        handle.size = max(handle.size, end)
+        handle.mtime = self.cache.device.clock.now
+        self._istore(handle, sync_op=False)
+        return len(data)
+
+    def _truncate(self, handle: Handle, size: int) -> None:
+        if size < 0:
+            raise InvalidArgument("negative truncate size")
+        if size >= handle.size:
+            handle.size = size
+            self._istore(handle, sync_op=False)
+            return
+        keep = (size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        fid = self._file_id(handle)
+        # Drop logical identities of everything being freed.
+        for idx, bno in list(mapping.enumerate_blocks(self.cache, handle)):
+            if idx >= keep:
+                self.cache.drop_logical((fid, idx))
+        freed = mapping.truncate_blocks(
+            self.cache, handle, keep,
+            free_fn=lambda bno: self._free_file_block(handle, bno),
+        )
+        handle.nblocks -= freed
+        handle.size = size
+        # Zero the now-exposed tail of a kept partial block so a later
+        # extension reads zeros, as POSIX requires.
+        if size % BLOCK_SIZE:
+            bno = mapping.bmap_lookup(self.cache, handle, size // BLOCK_SIZE)
+            if bno:
+                buf = self.cache.get(bno, logical=(fid, size // BLOCK_SIZE))
+                buf.data[size % BLOCK_SIZE:] = bytes(BLOCK_SIZE - size % BLOCK_SIZE)
+                self.cache.mark_dirty(bno)
+        self._istore(handle, sync_op=True)
+
+    def _release_all_blocks(self, handle: Handle) -> int:
+        """Free every block of a dying file; returns data blocks freed."""
+        fid = self._file_id(handle)
+        for idx, _ in list(mapping.enumerate_blocks(self.cache, handle)):
+            self.cache.drop_logical((fid, idx))
+        freed = mapping.truncate_blocks(
+            self.cache, handle, 0,
+            free_fn=lambda bno: self._free_file_block(handle, bno),
+        )
+        handle.nblocks -= freed
+        handle.size = 0
+        return freed

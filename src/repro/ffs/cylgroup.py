@@ -1,0 +1,82 @@
+"""Cylinder-group state: descriptors and block bitmaps.
+
+Free counts and rotors are mirrored in memory (one small object per
+group) and flushed to their descriptor blocks before each sync.  The
+block bitmap is *not* mirrored: the allocator mutates the cached
+bitmap buffer directly, so the buffer cache remains the single source
+of truth and eviction/re-read cannot desynchronize anything.  Bitmap
+writes are always delayed — they carry no ordering requirement, since
+fsck can rebuild them from the reachable inodes.
+"""
+
+from __future__ import annotations
+
+from repro.cache.buffercache import BufferCache
+from repro.errors import CorruptFileSystem
+from repro.ffs import layout
+
+
+def bit_is_set(bitmap: bytearray, offset: int) -> bool:
+    return bool(bitmap[offset >> 3] & (1 << (offset & 7)))
+
+
+def set_bit(bitmap: bytearray, offset: int) -> None:
+    bitmap[offset >> 3] |= 1 << (offset & 7)
+
+
+def clear_bit(bitmap: bytearray, offset: int) -> None:
+    bitmap[offset >> 3] &= ~(1 << (offset & 7))
+
+
+class CylinderGroup:
+    """In-memory mirror of one group's descriptor (counts and rotors)."""
+
+    __slots__ = (
+        "index", "base", "blocks", "inodes",
+        "free_blocks", "free_inodes", "block_rotor", "inode_rotor",
+    )
+
+    def __init__(self, index: int, base: int, blocks: int, inodes: int) -> None:
+        self.index = index
+        self.base = base          # first block of this cg (the descriptor)
+        self.blocks = blocks      # blocks spanned by the cg
+        self.inodes = inodes
+        self.free_blocks = 0
+        self.free_inodes = 0
+        self.block_rotor = 0      # next-fit position for block allocation
+        self.inode_rotor = 0
+
+    @property
+    def descriptor_block(self) -> int:
+        return self.base
+
+    @property
+    def bitmap_block(self) -> int:
+        return self.base + 1
+
+    def pack_descriptor(self) -> bytes:
+        return layout.pack_cg(
+            self.free_blocks, self.free_inodes, self.block_rotor, self.inode_rotor
+        )
+
+    def load_descriptor(self, data: bytes) -> None:
+        fields = layout.unpack_cg(data)
+        self.free_blocks = fields["free_blocks"]
+        self.free_inodes = fields["free_inodes"]
+        self.block_rotor = fields["block_rotor"]
+        self.inode_rotor = fields["inode_rotor"]
+        if self.free_blocks > self.blocks or self.free_inodes > self.inodes:
+            raise CorruptFileSystem("cg %d free counts exceed capacity" % self.index)
+
+    def store_descriptor(self, cache: BufferCache) -> None:
+        buf = cache.get(self.descriptor_block)
+        buf.data[:] = self.pack_descriptor()
+        cache.mark_dirty(self.descriptor_block)
+
+    @classmethod
+    def load(
+        cls, cache: BufferCache, index: int, base: int, blocks: int, inodes: int
+    ) -> "CylinderGroup":
+        cg = cls(index, base, blocks, inodes)
+        cg.load_descriptor(bytes(cache.get(cg.descriptor_block).data))
+        return cg

@@ -1,0 +1,151 @@
+"""FFS directory block format: name -> inode number entries.
+
+A directory data block is a chain of variable-length entries whose
+record lengths tile the 4 KB block exactly (the 4.4BSD format).  An
+entry with ``inum == 0`` is free space; removal merges the freed record
+into its predecessor so live entries never move, which keeps cached
+(block, offset) references stable.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.blockdev.device import BLOCK_SIZE
+from repro.errors import CorruptFileSystem, InvalidArgument
+from repro.ffs.layout import (
+    DIRENT_HEADER_FMT,
+    DIRENT_HEADER_SIZE,
+    dirent_size,
+)
+
+# (offset, inum, kind, name, reclen)
+DirEntry = Tuple[int, int, int, str, int]
+
+
+def init_block() -> bytearray:
+    """A fresh directory block: one free entry spanning everything."""
+    block = bytearray(BLOCK_SIZE)
+    struct.pack_into(DIRENT_HEADER_FMT, block, 0, 0, BLOCK_SIZE, 0, 0)
+    return block
+
+
+def iter_entries(block: bytes) -> Iterator[DirEntry]:
+    """Yield every record (live and free) in chain order."""
+    offset = 0
+    while offset < BLOCK_SIZE:
+        inum, reclen, namelen, kind = struct.unpack_from(DIRENT_HEADER_FMT, block, offset)
+        if reclen < DIRENT_HEADER_SIZE or offset + reclen > BLOCK_SIZE:
+            raise CorruptFileSystem(
+                "bad dirent reclen %d at offset %d" % (reclen, offset)
+            )
+        name = ""
+        if inum != 0 and namelen:
+            raw = bytes(block[offset + DIRENT_HEADER_SIZE:offset + DIRENT_HEADER_SIZE + namelen])
+            name = raw.decode("utf-8", errors="replace")
+        yield offset, inum, kind, name, reclen
+        offset += reclen
+    if offset != BLOCK_SIZE:
+        raise CorruptFileSystem("dirent chain does not tile the block")
+
+
+def live_entries(block: bytes) -> List[Tuple[str, int, int]]:
+    """All (name, inum, kind) triples of live entries."""
+    return [(name, inum, kind) for _, inum, kind, name, _ in iter_entries(block) if inum != 0]
+
+
+def find_entry(block: bytes, name: str) -> Optional[Tuple[int, int]]:
+    """Locate ``name``: returns (inum, kind) or None."""
+    for _, inum, kind, entry_name, _ in iter_entries(block):
+        if inum != 0 and entry_name == name:
+            return inum, kind
+    return None
+
+
+def free_bytes(block: bytes) -> int:
+    """Largest insertion the block can accept right now."""
+    best = 0
+    for _, inum, _, entry_name, reclen in iter_entries(block):
+        if inum == 0:
+            avail = reclen
+        else:
+            avail = reclen - dirent_size(len(entry_name.encode("utf-8")))
+        best = max(best, avail)
+    return best
+
+
+def add_entry(block: bytearray, inum: int, kind: int, name: str) -> bool:
+    """Insert an entry; returns False if no record has enough slack."""
+    if inum == 0:
+        raise InvalidArgument("inum 0 is reserved for free records")
+    encoded = name.encode("utf-8")
+    needed = dirent_size(len(encoded))
+    offset = 0
+    while offset < BLOCK_SIZE:
+        cur_inum, reclen, namelen, cur_kind = struct.unpack_from(
+            DIRENT_HEADER_FMT, block, offset
+        )
+        if cur_inum == 0 and reclen >= needed:
+            # Claim the free record, leaving the remainder free.
+            _write_entry(block, offset, inum, needed, kind, encoded)
+            remainder = reclen - needed
+            if remainder >= DIRENT_HEADER_SIZE:
+                struct.pack_into(
+                    DIRENT_HEADER_FMT, block, offset + needed, 0, remainder, 0, 0
+                )
+            else:
+                # Absorb unusable slack into the new entry.
+                struct.pack_into(
+                    DIRENT_HEADER_FMT, block, offset, inum, needed + remainder,
+                    len(encoded), kind,
+                )
+            return True
+        if cur_inum != 0:
+            used = dirent_size(namelen)
+            slack = reclen - used
+            if slack >= needed:
+                # Split the slack off the live entry.
+                struct.pack_into(
+                    DIRENT_HEADER_FMT, block, offset, cur_inum, used, namelen, cur_kind
+                )
+                _write_entry(block, offset + used, inum, slack, kind, encoded)
+                return True
+        offset += reclen
+    return False
+
+
+def remove_entry(block: bytearray, name: str) -> Optional[int]:
+    """Remove ``name``; returns its inum or None if absent.
+
+    The freed record merges into its predecessor (or becomes a free
+    record when it heads the chain), so other entries stay in place.
+    """
+    prev_offset = None
+    offset = 0
+    while offset < BLOCK_SIZE:
+        inum, reclen, namelen, kind = struct.unpack_from(DIRENT_HEADER_FMT, block, offset)
+        if inum != 0:
+            raw = bytes(block[offset + DIRENT_HEADER_SIZE:offset + DIRENT_HEADER_SIZE + namelen])
+            if raw.decode("utf-8", errors="replace") == name:
+                if prev_offset is None:
+                    struct.pack_into(DIRENT_HEADER_FMT, block, offset, 0, reclen, 0, 0)
+                else:
+                    p_inum, p_reclen, p_namelen, p_kind = struct.unpack_from(
+                        DIRENT_HEADER_FMT, block, prev_offset
+                    )
+                    struct.pack_into(
+                        DIRENT_HEADER_FMT, block, prev_offset,
+                        p_inum, p_reclen + reclen, p_namelen, p_kind,
+                    )
+                return inum
+        prev_offset = offset
+        offset += reclen
+    return None
+
+
+def _write_entry(
+    block: bytearray, offset: int, inum: int, reclen: int, kind: int, encoded: bytes
+) -> None:
+    struct.pack_into(DIRENT_HEADER_FMT, block, offset, inum, reclen, len(encoded), kind)
+    block[offset + DIRENT_HEADER_SIZE:offset + DIRENT_HEADER_SIZE + len(encoded)] = encoded

@@ -1,0 +1,153 @@
+"""On-disk layout constants and record formats for the FFS baseline.
+
+Everything on disk is real packed bytes — the offline checker and the
+corruption-injection tests parse the same serialization the file system
+writes.
+
+Disk layout::
+
+    block 0                     superblock
+    block 1 ...                 cylinder groups, each:
+        +0                      group descriptor
+        +1                      block usage bitmap
+        +2 .. +2+itable-1       inode table
+        +data_start ..          data blocks
+
+Inodes are 128 bytes (32 per 4 KB block) with twelve direct pointers
+and single/double indirect pointers, like the paper's implementation
+heritage (4.4BSD dinode, minus fields the simulation does not model).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.blockdev.device import BLOCK_SIZE
+
+FFS_MAGIC = 0x0011954  # USENIX January 1997, give or take
+INODE_SIZE = 128
+INODES_PER_BLOCK = BLOCK_SIZE // INODE_SIZE
+
+NDIRECT = 12
+PTRS_PER_INDIRECT = BLOCK_SIZE // 4  # 1024 block pointers
+
+# Inode modes.
+MODE_FREE = 0
+MODE_FILE = 1
+MODE_DIR = 2
+
+# 2+2+2+2 + 8 + 8 + 48 + 4 + 4 + 4 = 84 bytes used, padded to 128.
+_INODE_FMT = "<HHHHQd12IIII44x"
+assert struct.calcsize(_INODE_FMT) == INODE_SIZE
+
+# Superblock: magic, version, total_blocks, n_cgs, blocks_per_cg,
+# inodes_per_cg, itable_blocks, data_start, root_inum, next_gen,
+# free_blocks, free_inodes.
+_SUPERBLOCK_FMT = "<IIIIIIIIIQQQ"
+
+# Cylinder-group descriptor: free_blocks, free_inodes, block_rotor, inode_rotor.
+_CG_FMT = "<IIII"
+
+# Directory entry header: inum, reclen, namelen, kind.
+DIRENT_HEADER_FMT = "<IHBB"
+DIRENT_HEADER_SIZE = struct.calcsize(DIRENT_HEADER_FMT)
+DIRENT_ALIGN = 4
+
+DT_FILE = 1
+DT_DIR = 2
+
+
+def dirent_size(namelen: int) -> int:
+    """Bytes a directory entry with an ``namelen``-byte name occupies."""
+    raw = DIRENT_HEADER_SIZE + namelen
+    return (raw + DIRENT_ALIGN - 1) // DIRENT_ALIGN * DIRENT_ALIGN
+
+
+def pack_inode(
+    mode: int,
+    nlink: int,
+    flags: int,
+    gen: int,
+    size: int,
+    mtime: float,
+    direct: list,
+    indirect: int,
+    dindirect: int,
+    nblocks: int,
+) -> bytes:
+    if len(direct) != NDIRECT:
+        raise ValueError("inode needs exactly %d direct pointers" % NDIRECT)
+    return struct.pack(
+        _INODE_FMT, mode, nlink, flags, gen, size, mtime, *direct,
+        indirect, dindirect, nblocks,
+    )
+
+
+def unpack_inode(data: bytes) -> dict:
+    fields = struct.unpack(_INODE_FMT, data[:INODE_SIZE])
+    return {
+        "mode": fields[0],
+        "nlink": fields[1],
+        "flags": fields[2],
+        "gen": fields[3],
+        "size": fields[4],
+        "mtime": fields[5],
+        "direct": list(fields[6:18]),
+        "indirect": fields[18],
+        "dindirect": fields[19],
+        "nblocks": fields[20],
+    }
+
+
+def pack_superblock(sb: dict) -> bytes:
+    packed = struct.pack(
+        _SUPERBLOCK_FMT,
+        sb["magic"],
+        sb["version"],
+        sb["total_blocks"],
+        sb["n_cgs"],
+        sb["blocks_per_cg"],
+        sb["inodes_per_cg"],
+        sb["itable_blocks"],
+        sb["data_start"],
+        sb["root_inum"],
+        sb["next_gen"],
+        sb["free_blocks"],
+        sb["free_inodes"],
+    )
+    return packed + bytes(BLOCK_SIZE - len(packed))
+
+
+def unpack_superblock(data: bytes) -> dict:
+    size = struct.calcsize(_SUPERBLOCK_FMT)
+    fields = struct.unpack(_SUPERBLOCK_FMT, data[:size])
+    return {
+        "magic": fields[0],
+        "version": fields[1],
+        "total_blocks": fields[2],
+        "n_cgs": fields[3],
+        "blocks_per_cg": fields[4],
+        "inodes_per_cg": fields[5],
+        "itable_blocks": fields[6],
+        "data_start": fields[7],
+        "root_inum": fields[8],
+        "next_gen": fields[9],
+        "free_blocks": fields[10],
+        "free_inodes": fields[11],
+    }
+
+
+def pack_cg(free_blocks: int, free_inodes: int, block_rotor: int, inode_rotor: int) -> bytes:
+    packed = struct.pack(_CG_FMT, free_blocks, free_inodes, block_rotor, inode_rotor)
+    return packed + bytes(BLOCK_SIZE - len(packed))
+
+
+def unpack_cg(data: bytes) -> dict:
+    size = struct.calcsize(_CG_FMT)
+    fields = struct.unpack(_CG_FMT, data[:size])
+    return {
+        "free_blocks": fields[0],
+        "free_inodes": fields[1],
+        "block_rotor": fields[2],
+        "inode_rotor": fields[3],
+    }

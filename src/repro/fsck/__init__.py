@@ -1,0 +1,12 @@
+"""Offline consistency checkers.
+
+The paper's recovery discussion: "Although inodes are no longer at
+statically determined locations, they can all be found (assuming no
+media corruption) by following the directory hierarchy."  That is
+exactly how :func:`fsck_cffs` works; :func:`fsck_ffs` checks the
+static-table baseline.
+"""
+
+from repro.fsck.checker import FsckReport, fsck_cffs, fsck_ffs
+
+__all__ = ["FsckReport", "fsck_cffs", "fsck_ffs"]

@@ -1,0 +1,47 @@
+"""Open-file bookkeeping shared by both file systems."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import BadFileDescriptor
+
+
+class OpenFile:
+    """One open file: an inode handle plus a seek offset."""
+
+    __slots__ = ("handle", "offset", "path")
+
+    def __init__(self, handle: Any, path: str) -> None:
+        self.handle = handle
+        self.offset = 0
+        self.path = path
+
+
+class FdTable:
+    """Maps small integer descriptors to :class:`OpenFile` records."""
+
+    def __init__(self) -> None:
+        self._open: Dict[int, OpenFile] = {}
+        self._next_fd = 3  # reserve the traditional 0/1/2
+
+    def allocate(self, record: OpenFile) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self._open[fd] = record
+        return fd
+
+    def lookup(self, fd: int) -> OpenFile:
+        record = self._open.get(fd)
+        if record is None:
+            raise BadFileDescriptor("fd %d is not open" % fd)
+        return record
+
+    def release(self, fd: int) -> OpenFile:
+        record = self._open.pop(fd, None)
+        if record is None:
+            raise BadFileDescriptor("fd %d is not open" % fd)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._open)

@@ -1,0 +1,340 @@
+"""The file system interface shared by FFS and C-FFS.
+
+The base class owns everything that is identical across the paper's
+four configurations — path walking, descriptor bookkeeping, the public
+POSIX-flavoured API and its CPU cost charging — and delegates the
+per-format work to a small set of internal inode operations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, List, Optional
+
+from repro.clock import CpuModel
+from repro.cache.buffercache import BufferCache
+from repro.errors import (
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+)
+from repro.vfs.fdtable import FdTable, OpenFile
+from repro.vfs.path import basename_of, split_path
+from repro.vfs.stat import FileKind, StatResult
+
+Handle = Any  # per-implementation in-memory inode object
+
+
+class FileSystem(abc.ABC):
+    """Abstract file system over a shared buffer cache.
+
+    Subclasses implement the ``_``-prefixed inode operations; everything
+    public here is the API used by workloads, examples and benchmarks.
+    """
+
+    #: human-readable configuration name ("ffs", "cffs", ...)
+    name: str = "abstract"
+
+    def __init__(self, cache: BufferCache, cpu: CpuModel) -> None:
+        self.cache = cache
+        self.cpu = cpu
+        self.fds = FdTable()
+
+    # ------------------------------------------------------------------ public
+
+    def create(self, path: str) -> None:
+        """Create an empty regular file."""
+        self.cpu.charge_syscall()
+        parents, name = basename_of(path)
+        dirh = self._walk(parents)
+        self._create_file(dirh, name)
+
+    def mkdir(self, path: str) -> None:
+        """Create an empty directory."""
+        self.cpu.charge_syscall()
+        parents, name = basename_of(path)
+        dirh = self._walk(parents)
+        self._make_directory(dirh, name)
+
+    def unlink(self, path: str) -> None:
+        """Remove a file name (and the file, when its last link drops)."""
+        self.cpu.charge_syscall()
+        parents, name = basename_of(path)
+        dirh = self._walk(parents)
+        self._unlink(dirh, name)
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        self.cpu.charge_syscall()
+        parents, name = basename_of(path)
+        dirh = self._walk(parents)
+        self._rmdir(dirh, name)
+
+    def link(self, existing: str, new: str) -> None:
+        """Create a hard link (C-FFS externalizes the inode here)."""
+        self.cpu.charge_syscall()
+        handle = self._resolve(existing)
+        if self._kind_of(handle) is FileKind.DIRECTORY:
+            raise IsADirectory("cannot hard-link a directory: %r" % existing)
+        parents, name = basename_of(new)
+        dirh = self._walk(parents)
+        self._link(handle, dirh, name)
+
+    def rename(self, old: str, new: str) -> None:
+        """Atomically move a name (files and directories)."""
+        self.cpu.charge_syscall()
+        old_parents, old_name = basename_of(old)
+        new_parents, new_name = basename_of(new)
+        # A directory must never move into its own subtree (a cycle
+        # would orphan everything under it).
+        old_prefix = old_parents + [old_name]
+        if new_parents[:len(old_prefix)] == old_prefix:
+            raise InvalidArgument(
+                "cannot move %r into its own subtree %r" % (old, new)
+            )
+        src_dir = self._walk(old_parents)
+        dst_dir = self._walk(new_parents)
+        self._rename(src_dir, old_name, dst_dir, new_name)
+
+    def open(self, path: str, create: bool = False) -> int:
+        """Open a regular file, optionally creating it; returns an fd."""
+        self.cpu.charge_syscall()
+        parents, name = basename_of(path)
+        dirh = self._walk(parents)
+        try:
+            handle = self._lookup(dirh, name)
+        except FileNotFound:
+            if not create:
+                raise
+            handle = self._create_file(dirh, name)
+        if self._kind_of(handle) is FileKind.DIRECTORY:
+            raise IsADirectory("cannot open a directory for file I/O: %r" % path)
+        return self.fds.allocate(OpenFile(handle, path))
+
+    def close(self, fd: int) -> None:
+        self.cpu.charge_syscall()
+        self.fds.release(fd)
+
+    def read(self, fd: int, size: int) -> bytes:
+        """Read from the descriptor's current offset."""
+        self.cpu.charge_syscall()
+        record = self.fds.lookup(fd)
+        data = self._read(record.handle, record.offset, size)
+        record.offset += len(data)
+        self.cpu.charge_copy(len(data))
+        return data
+
+    def write(self, fd: int, data: bytes) -> int:
+        """Write at the descriptor's current offset."""
+        self.cpu.charge_syscall()
+        record = self.fds.lookup(fd)
+        written = self._write(record.handle, record.offset, data)
+        record.offset += written
+        self.cpu.charge_copy(written)
+        return written
+
+    def pread(self, fd: int, offset: int, size: int) -> bytes:
+        self.cpu.charge_syscall()
+        record = self.fds.lookup(fd)
+        data = self._read(record.handle, offset, size)
+        self.cpu.charge_copy(len(data))
+        return data
+
+    def pwrite(self, fd: int, offset: int, data: bytes) -> int:
+        self.cpu.charge_syscall()
+        record = self.fds.lookup(fd)
+        written = self._write(record.handle, offset, data)
+        self.cpu.charge_copy(written)
+        return written
+
+    def seek(self, fd: int, offset: int) -> None:
+        if offset < 0:
+            raise InvalidArgument("cannot seek to a negative offset")
+        self.fds.lookup(fd).offset = offset
+
+    def truncate(self, path: str, size: int = 0) -> None:
+        self.cpu.charge_syscall()
+        handle = self._resolve(path)
+        if self._kind_of(handle) is FileKind.DIRECTORY:
+            raise IsADirectory("cannot truncate a directory: %r" % path)
+        self._truncate(handle, size)
+
+    def stat(self, path: str) -> StatResult:
+        self.cpu.charge_syscall()
+        return self._stat_handle(self._resolve(path))
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.stat(path)
+            return True
+        except FileNotFound:
+            return False
+
+    def readdir(self, path: str) -> List[str]:
+        """Names in a directory (no '.' / '..' entries)."""
+        self.cpu.charge_syscall()
+        handle = self._resolve(path)
+        if self._kind_of(handle) is not FileKind.DIRECTORY:
+            raise NotADirectory("%r is not a directory" % path)
+        return self._readdir(handle)
+
+    # Whole-file helpers used heavily by workloads.
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Create or replace ``path`` with exactly ``data``."""
+        fd = self.open(path, create=True)
+        try:
+            handle = self.fds.lookup(fd).handle
+            if data:
+                self.pwrite(fd, 0, data)
+            if handle.size > len(data):
+                self._truncate(handle, len(data))
+        finally:
+            self.close(fd)
+
+    def read_file(self, path: str) -> bytes:
+        fd = self.open(path)
+        try:
+            size = self._stat_handle(self.fds.lookup(fd).handle).size
+            return self.pread(fd, 0, size)
+        finally:
+            self.close(fd)
+
+    def sync(self) -> int:
+        """Flush all dirty state to disk; returns disk requests issued."""
+        self.cpu.charge_syscall()
+        self._write_back_metadata()
+        nreq = self.cache.sync()
+        return nreq
+
+    def fsync(self, fd: int) -> int:
+        """Flush one open file's dirty data and metadata to disk.
+
+        Returns the number of disk requests issued.  Dirty blocks of
+        the file are gathered into batched writes (groups and clusters
+        coalesce exactly as they would on eviction).
+        """
+        from repro.ffs import mapping  # local import: vfs stays format-free
+
+        self.cpu.charge_syscall()
+        handle = self.fds.lookup(fd).handle
+        nreq = self.cache.flush_blocks(
+            bno for _idx, bno in mapping.enumerate_blocks(self.cache, handle)
+        )
+        # Persist the inode (and, per-format, whatever metadata chain it
+        # depends on) even under delayed-metadata policy.
+        nreq += self._fsync_metadata(handle)  # type: ignore[attr-defined]
+        self.cache.device.flush()
+        return nreq
+
+    def evict_file_data(self, path: str) -> int:
+        """Drop a file's cached data blocks (fadvise(DONTNEED)-style).
+
+        Dirty blocks are flushed first; metadata (directories, inodes)
+        stays cached.  Returns the number of blocks dropped.  Workloads
+        use this to model data-cache turnover without losing the hot
+        name/metadata state a busy system retains.
+        """
+        from repro.ffs import mapping  # local import: vfs stays format-free
+
+        self.cpu.charge_syscall()
+        handle = self._resolve(path)
+        fid = self._file_id(handle)  # type: ignore[attr-defined]
+        dropped = 0
+        for idx, bno in list(mapping.enumerate_blocks(self.cache, handle)):
+            buf = self.cache.peek(bno)
+            if buf is None:
+                continue
+            if buf.dirty:
+                self.cache.write_sync(bno)
+            self.cache.drop_logical((fid, idx))
+            self.cache.forget(bno)
+            dropped += 1
+        return dropped
+
+    def drop_caches(self) -> None:
+        """Flush, then forget all cached state (cold-cache phase barrier)."""
+        self.sync()
+        self._drop_private_caches()
+        self.cache.invalidate_all()
+
+    # ---------------------------------------------------------------- internals
+
+    def _walk(self, components: List[str]) -> Handle:
+        """Resolve directory components from the root."""
+        handle = self._root_handle()
+        for name in components:
+            if self._kind_of(handle) is not FileKind.DIRECTORY:
+                raise NotADirectory("path component %r is not a directory" % name)
+            handle = self._lookup(handle, name)
+        if self._kind_of(handle) is not FileKind.DIRECTORY:
+            raise NotADirectory("final path component is not a directory")
+        return handle
+
+    def _resolve(self, path: str) -> Handle:
+        parts = split_path(path)
+        if not parts:
+            return self._root_handle()
+        dirh = self._walk(parts[:-1])
+        return self._lookup(dirh, parts[-1])
+
+    # -- abstract per-format operations --------------------------------------
+
+    @abc.abstractmethod
+    def _root_handle(self) -> Handle: ...
+
+    @abc.abstractmethod
+    def _kind_of(self, handle: Handle) -> FileKind: ...
+
+    @abc.abstractmethod
+    def _lookup(self, dirh: Handle, name: str) -> Handle: ...
+
+    @abc.abstractmethod
+    def _create_file(self, dirh: Handle, name: str) -> Handle: ...
+
+    @abc.abstractmethod
+    def _make_directory(self, dirh: Handle, name: str) -> Handle: ...
+
+    @abc.abstractmethod
+    def _unlink(self, dirh: Handle, name: str) -> None: ...
+
+    @abc.abstractmethod
+    def _rmdir(self, dirh: Handle, name: str) -> None: ...
+
+    @abc.abstractmethod
+    def _link(self, handle: Handle, dirh: Handle, name: str) -> None: ...
+
+    @abc.abstractmethod
+    def _rename(self, src_dir: Handle, old: str, dst_dir: Handle, new: str) -> None: ...
+
+    @abc.abstractmethod
+    def _read(self, handle: Handle, offset: int, size: int) -> bytes: ...
+
+    @abc.abstractmethod
+    def _write(self, handle: Handle, offset: int, data: bytes) -> int: ...
+
+    @abc.abstractmethod
+    def _truncate(self, handle: Handle, size: int) -> None: ...
+
+    @abc.abstractmethod
+    def _stat_handle(self, handle: Handle) -> StatResult: ...
+
+    @abc.abstractmethod
+    def _readdir(self, dirh: Handle) -> List[str]: ...
+
+    @abc.abstractmethod
+    def _write_back_metadata(self) -> None:
+        """Push in-memory metadata mirrors into cache buffers pre-sync."""
+
+    @abc.abstractmethod
+    def _drop_private_caches(self) -> None:
+        """Forget in-memory metadata mirrors (icache, name indexes)."""
+
+    # -- introspection used by experiments ------------------------------------
+
+    def free_blocks(self) -> int:
+        raise NotImplementedError
+
+    def total_data_blocks(self) -> int:
+        raise NotImplementedError

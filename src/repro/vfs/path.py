@@ -1,0 +1,38 @@
+"""Path handling shared by both file systems."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import InvalidArgument, NameTooLong
+
+MAX_NAME_LEN = 255
+
+
+def normalize(path: str) -> str:
+    """Canonicalize a path: absolute, single slashes, no trailing slash."""
+    if not path or not path.startswith("/"):
+        raise InvalidArgument("paths must be absolute: %r" % path)
+    parts = [p for p in path.split("/") if p]
+    for part in parts:
+        if part in (".", ".."):
+            raise InvalidArgument("'.' and '..' are not supported in paths: %r" % path)
+        if len(part) > MAX_NAME_LEN:
+            raise NameTooLong("component %r exceeds %d bytes" % (part, MAX_NAME_LEN))
+    return "/" + "/".join(parts)
+
+
+def split_path(path: str) -> List[str]:
+    """Normalized components of ``path`` (empty list for the root)."""
+    norm = normalize(path)
+    if norm == "/":
+        return []
+    return norm[1:].split("/")
+
+
+def basename_of(path: str) -> Tuple[List[str], str]:
+    """Split into (parent components, final name); root is invalid."""
+    parts = split_path(path)
+    if not parts:
+        raise InvalidArgument("operation requires a non-root path")
+    return parts[:-1], parts[-1]

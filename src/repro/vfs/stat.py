@@ -1,0 +1,30 @@
+"""File metadata as reported to callers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FileKind(enum.Enum):
+    """The two object kinds the paper's file systems distinguish."""
+
+    FILE = "file"
+    DIRECTORY = "directory"
+
+
+@dataclass(frozen=True)
+class StatResult:
+    """A stat(2)-like snapshot of one file system object."""
+
+    kind: FileKind
+    size: int
+    nlink: int
+    nblocks: int          # data blocks allocated (excluding indirects)
+    file_id: int          # stable identifier (inode number / file id)
+    embedded: bool = False  # C-FFS: inode currently embedded in a directory
+    grouped: bool = False   # C-FFS: data currently placed in an explicit group
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind is FileKind.DIRECTORY

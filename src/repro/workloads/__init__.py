@@ -1,0 +1,68 @@
+"""Workload generators for the paper's experiments."""
+
+from repro.workloads.smallfile import PHASES, PhaseResult, SmallFileResult, run_smallfile
+from repro.workloads.configs import (
+    CONFIG_GRID,
+    build_filesystem,
+    config_for,
+    grid_labels,
+)
+from repro.workloads.sizes import (
+    SIZE_BUCKETS,
+    SweepPoint,
+    fraction_under,
+    run_size_sweep,
+    sample_file_size,
+)
+from repro.workloads.aging import AgingResult, age_filesystem, read_aged_files
+from repro.workloads.appsuite import (
+    AppResult,
+    SourceTree,
+    build_source_tree,
+    run_app_suite,
+)
+from repro.workloads.hypertext import (
+    Document,
+    ServeResult,
+    build_site,
+    serve_documents,
+)
+from repro.workloads.trace import (
+    ReplayResult,
+    Trace,
+    TraceOp,
+    TracingFileSystem,
+    replay,
+)
+
+__all__ = [
+    "PHASES",
+    "PhaseResult",
+    "SmallFileResult",
+    "run_smallfile",
+    "CONFIG_GRID",
+    "build_filesystem",
+    "config_for",
+    "grid_labels",
+    "SIZE_BUCKETS",
+    "SweepPoint",
+    "fraction_under",
+    "run_size_sweep",
+    "sample_file_size",
+    "AgingResult",
+    "age_filesystem",
+    "read_aged_files",
+    "AppResult",
+    "SourceTree",
+    "build_source_tree",
+    "run_app_suite",
+    "Document",
+    "ServeResult",
+    "build_site",
+    "serve_documents",
+    "ReplayResult",
+    "Trace",
+    "TraceOp",
+    "TracingFileSystem",
+    "replay",
+]

@@ -1,0 +1,139 @@
+"""Hypertext-document workload (paper §6 / [Kaashoek96]).
+
+A web server stores each document as one HTML page plus several assets,
+but Unix convention scatters those files across type-based directories
+(``/pages``, ``/images``, ``/styles``).  Name-space grouping co-locates
+files per *directory*, which is the wrong unit here; the paper proposes
+passing application hints so files of one *document* group together.
+
+This workload builds such a site — optionally inside per-document
+:meth:`repro.core.filesystem.CFFS.group_context` hints — and then
+"serves" documents: for each request, read the page and every asset it
+references, cold.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.vfs.interface import FileSystem
+
+DIRECTORIES = ("/pages", "/images", "/styles")
+
+
+@dataclass
+class Document:
+    """One hypertext document: its page plus asset paths."""
+
+    name: str
+    paths: List[str]
+    total_bytes: int
+
+
+@dataclass
+class ServeResult:
+    """Cost of serving every document once, cold."""
+
+    label: str
+    documents: int
+    seconds: float
+    disk_requests: int
+
+    @property
+    def documents_per_second(self) -> float:
+        return self.documents / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def requests_per_document(self) -> float:
+        return self.disk_requests / self.documents if self.documents else 0.0
+
+
+def build_site(
+    fs: FileSystem,
+    n_documents: int = 60,
+    use_hints: bool = False,
+    seed: int = 77,
+    assets_range=(3, 7),
+) -> List[Document]:
+    """Create the site; with ``use_hints`` each document is written
+    inside its own group context (C-FFS only)."""
+    rng = random.Random(seed)
+    for d in DIRECTORIES:
+        if not fs.exists(d):
+            fs.mkdir(d)
+    documents: List[Document] = []
+    for n in range(n_documents):
+        name = "doc%04d" % n
+        paths: List[str] = []
+        page = "/pages/%s.html" % name
+        page_bytes = rng.randrange(2048, 8192)
+        files = [(page, page_bytes)]
+        for a in range(rng.randrange(*assets_range)):
+            kind = rng.choice(("/images/%s-a%d.gif", "/styles/%s-a%d.css"))
+            files.append((kind % (name, a), rng.randrange(1024, 12288)))
+
+        def write_all() -> None:
+            for path, size in files:
+                fs.write_file(path, b"w" * size)
+                paths.append(path)
+
+        if use_hints:
+            with fs.group_context("doc:" + name):  # type: ignore[attr-defined]
+                write_all()
+        else:
+            write_all()
+        documents.append(Document(
+            name=name, paths=paths, total_bytes=sum(s for _, s in files),
+        ))
+    fs.sync()
+    return documents
+
+
+def serve_documents(
+    fs: FileSystem,
+    documents: Sequence[Document],
+    label: str = "",
+    order_seed: Optional[int] = 5,
+    cold_per_document: bool = True,
+) -> ServeResult:
+    """Serve every document once, in shuffled order.
+
+    With ``cold_per_document`` (the default) every file's *data* is
+    evicted between documents while metadata (directories, inodes)
+    stays warm — a busy server whose data cache has turned over between
+    two requests for related files, which is the situation the hint
+    interface targets: the only co-location that helps is the one on
+    disk.
+    """
+    fs.sync()
+    for doc in documents:
+        for path in doc.paths:
+            fs.evict_file_data(path)
+    order = list(documents)
+    if order_seed is not None:
+        random.Random(order_seed).shuffle(order)
+    disk = fs.cache.device.disk
+    clock = fs.cache.device.clock
+    before = disk.stats.snapshot()
+    elapsed = 0.0
+    for doc in order:
+        start = clock.now
+        for path in doc.paths:
+            fs.read_file(path)
+        elapsed += clock.now - start
+        if cold_per_document:
+            # Full data-cache turnover: group reads install sibling
+            # blocks, so every document's data must go, not just the
+            # served one's.
+            for other in documents:
+                for path in other.paths:
+                    fs.evict_file_data(path)
+    delta = disk.stats.delta(before)
+    return ServeResult(
+        label=label or fs.name,
+        documents=len(order),
+        seconds=elapsed,
+        disk_requests=delta.total_requests,
+    )

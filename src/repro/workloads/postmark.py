@@ -1,0 +1,140 @@
+"""A PostMark-style transaction benchmark.
+
+PostMark (Katcher, 1997 — the same year as the paper) models a busy
+mail/news/web server: a pool of small files under constant churn.
+Three phases:
+
+1. **create pool** — N files with sizes uniform in [min, max],
+   scattered over subdirectories;
+2. **transactions** — T operations, each randomly a read, an append,
+   a create, or a delete of a pool file;
+3. **delete pool** — remove whatever remains.
+
+It complements the LFS small-file benchmark: operations are *mixed and
+interleaved* rather than phase-separated, so it exercises exactly the
+steady-state churn the paper's techniques target (and that explicit
+groups must survive: holes appear and refill continuously).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.vfs.interface import FileSystem
+
+
+@dataclass
+class PostmarkConfig:
+    """Workload parameters (defaults scaled for simulation speed)."""
+
+    n_files: int = 1000
+    n_transactions: int = 2000
+    min_size: int = 512
+    max_size: int = 16384
+    n_dirs: int = 10
+    read_bias: float = 0.5      # read vs append within "data" transactions
+    create_bias: float = 0.5    # create vs delete within "pool" transactions
+    data_fraction: float = 0.5  # data vs pool transactions
+    seed: int = 1997
+
+
+@dataclass
+class PostmarkResult:
+    """Timing and counts for one run."""
+
+    label: str
+    create_seconds: float = 0.0
+    transaction_seconds: float = 0.0
+    delete_seconds: float = 0.0
+    reads: int = 0
+    appends: int = 0
+    creates: int = 0
+    deletes: int = 0
+    disk_requests: int = 0
+
+    @property
+    def transactions_per_second(self) -> float:
+        total = self.reads + self.appends + self.creates + self.deletes
+        if self.transaction_seconds <= 0:
+            return float("inf")
+        return total / self.transaction_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.create_seconds + self.transaction_seconds + self.delete_seconds
+
+
+def run_postmark(
+    fs: FileSystem,
+    config: Optional[PostmarkConfig] = None,
+    label: str = "",
+) -> PostmarkResult:
+    """Run the three phases; returns timings in simulated seconds."""
+    cfg = config if config is not None else PostmarkConfig()
+    rng = random.Random(cfg.seed)
+    clock = fs.cache.device.clock
+    disk = fs.cache.device.disk
+    result = PostmarkResult(label=label or fs.name)
+    before = disk.stats.snapshot()
+
+    dirs = ["/postmark/d%03d" % d for d in range(cfg.n_dirs)]
+    fs.mkdir("/postmark")
+    for d in dirs:
+        fs.mkdir(d)
+
+    def new_size() -> int:
+        return rng.randint(cfg.min_size, cfg.max_size)
+
+    # Phase 1: create the pool.
+    pool: List[str] = []
+    serial = 0
+    start = clock.now
+    for _ in range(cfg.n_files):
+        path = "%s/p%06d" % (rng.choice(dirs), serial)
+        serial += 1
+        fs.write_file(path, b"p" * new_size())
+        pool.append(path)
+    fs.sync()
+    result.create_seconds = clock.now - start
+
+    # Phase 2: transactions.
+    start = clock.now
+    for _ in range(cfg.n_transactions):
+        if rng.random() < cfg.data_fraction and pool:
+            victim = rng.choice(pool)
+            if rng.random() < cfg.read_bias:
+                fs.read_file(victim)
+                result.reads += 1
+            else:
+                size = fs.stat(victim).size
+                fd = fs.open(victim)
+                try:
+                    fs.pwrite(fd, size, b"a" * rng.randint(256, 4096))
+                finally:
+                    fs.close(fd)
+                result.appends += 1
+        else:
+            if (rng.random() < cfg.create_bias or not pool):
+                path = "%s/p%06d" % (rng.choice(dirs), serial)
+                serial += 1
+                fs.write_file(path, b"p" * new_size())
+                pool.append(path)
+                result.creates += 1
+            else:
+                victim = pool.pop(rng.randrange(len(pool)))
+                fs.unlink(victim)
+                result.deletes += 1
+    fs.sync()
+    result.transaction_seconds = clock.now - start
+
+    # Phase 3: delete the pool.
+    start = clock.now
+    for path in pool:
+        fs.unlink(path)
+    fs.sync()
+    result.delete_seconds = clock.now - start
+
+    result.disk_requests = disk.stats.delta(before).total_requests
+    return result

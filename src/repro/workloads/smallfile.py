@@ -1,0 +1,148 @@
+"""The small-file microbenchmark (from [Rosenblum92], as used in §4.2).
+
+Four phases over N small files named by one directory (or spread over
+several): create+write, read back in creation order, overwrite in the
+same order, and remove in the same order.  Between phases all dirty
+blocks are forcefully written back and the caches are dropped, so each
+phase runs cold — matching the paper's measurement discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.vfs.interface import FileSystem
+
+PHASES = ("create", "read", "overwrite", "delete")
+
+
+@dataclass
+class PhaseResult:
+    """One phase's measurements (simulated time)."""
+
+    phase: str
+    seconds: float
+    n_files: int
+    file_size: int
+    disk_reads: int
+    disk_writes: int
+
+    @property
+    def files_per_second(self) -> float:
+        return self.n_files / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def useful_mb_per_second(self) -> float:
+        """Throughput counted in file payload bytes."""
+        return self.n_files * self.file_size / self.seconds / 1e6 if self.seconds > 0 else float("inf")
+
+    @property
+    def disk_requests(self) -> int:
+        return self.disk_reads + self.disk_writes
+
+    @property
+    def requests_per_file(self) -> float:
+        return self.disk_requests / self.n_files if self.n_files else 0.0
+
+
+@dataclass
+class SmallFileResult:
+    """All four phases for one configuration."""
+
+    label: str
+    phases: Dict[str, PhaseResult] = field(default_factory=dict)
+
+    def __getitem__(self, phase: str) -> PhaseResult:
+        return self.phases[phase]
+
+
+def _file_paths(n_files: int, n_dirs: int) -> List[str]:
+    if n_dirs == 1:
+        return ["/bench/f%06d" % i for i in range(n_files)]
+    # Round-robin across directories: creation (and hence access) order
+    # interleaves the directories, as concurrent activity would.
+    return [
+        "/bench/d%03d/f%06d" % (i % n_dirs, i)
+        for i in range(n_files)
+    ]
+
+
+def run_smallfile(
+    fs: FileSystem,
+    n_files: int = 10000,
+    file_size: int = 1024,
+    n_dirs: int = 1,
+    payload: Optional[bytes] = None,
+    label: Optional[str] = None,
+    phases: tuple = PHASES,
+) -> SmallFileResult:
+    """Run the four-phase benchmark; returns per-phase results.
+
+    The file system must be freshly mounted (or at least have ``/bench``
+    available for creation).  Phase timing includes the final write-back
+    of all dirty blocks, and caches are dropped between phases.
+    """
+    data = payload if payload is not None else b"s" * file_size
+    if len(data) != file_size:
+        raise ValueError("payload length must equal file_size")
+    paths = _file_paths(n_files, n_dirs)
+
+    fs.mkdir("/bench")
+    made = set()
+    for p in paths:
+        parent = p.rsplit("/", 1)[0]
+        if parent != "/bench" and parent not in made:
+            fs.mkdir(parent)
+            made.add(parent)
+    fs.sync()
+    fs.drop_caches()
+
+    clock = fs.cache.device.clock
+    disk = fs.cache.device.disk
+    result = SmallFileResult(label=label if label is not None else fs.name)
+
+    def run_phase(name: str, body) -> None:
+        before_stats = disk.stats.snapshot()
+        start = clock.now
+        body()
+        fs.sync()
+        elapsed = clock.now - start
+        delta = disk.stats.delta(before_stats)
+        result.phases[name] = PhaseResult(
+            phase=name,
+            seconds=elapsed,
+            n_files=n_files,
+            file_size=file_size,
+            disk_reads=delta.reads,
+            disk_writes=delta.writes,
+        )
+        fs.drop_caches()
+
+    def do_create() -> None:
+        for p in paths:
+            fs.write_file(p, data)
+
+    def do_read() -> None:
+        for p in paths:
+            got = fs.read_file(p)
+            if len(got) != file_size:
+                raise AssertionError("short read of %s" % p)
+
+    def do_overwrite() -> None:
+        for p in paths:
+            fs.write_file(p, data)
+
+    def do_delete() -> None:
+        for p in paths:
+            fs.unlink(p)
+
+    bodies = {
+        "create": do_create,
+        "read": do_read,
+        "overwrite": do_overwrite,
+        "delete": do_delete,
+    }
+    for name in phases:
+        run_phase(name, bodies[name])
+    return result

@@ -1,0 +1,91 @@
+"""Shared fixtures: small simulated disks and file system factories.
+
+Tests use a deliberately small drive (≈13 MB) and small cylinder
+groups so mkfs and workloads run fast; the benchmark suite uses the
+full ST31200 profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockdev.device import BlockDevice
+from repro.cache.policy import MetadataPolicy
+from repro.core.filesystem import CFFS, CFFSConfig
+from repro.disk.profiles import DriveProfile
+from repro.ffs.filesystem import FFS, FFSConfig
+
+TEST_PROFILE = DriveProfile(
+    name="TestDrive 13MB",
+    year=1996,
+    rpm=5400.0,
+    heads=4,
+    zone_table=((100, 40), (100, 24)),
+    single_cyl_seek_ms=1.0,
+    avg_seek_ms=8.0,
+    full_seek_ms=16.0,
+    command_overhead_ms=1.0,
+    bus_mb_per_s=10.0,
+    cache_segments=2,
+    readahead_sectors=32,
+    write_cache=True,
+    write_buffer_kb=128,
+)
+
+TEST_PROFILE_PLAIN = TEST_PROFILE.with_overrides(
+    name="TestDrive plain", write_cache=False, cache_segments=0, readahead_sectors=0
+)
+
+
+def make_device(profile: DriveProfile = TEST_PROFILE) -> BlockDevice:
+    return BlockDevice(profile)
+
+
+def make_ffs(policy: MetadataPolicy = MetadataPolicy.SYNC_METADATA, **overrides) -> FFS:
+    config = FFSConfig(
+        blocks_per_cg=512, inodes_per_cg=256, policy=policy, cache_blocks=512,
+        **overrides,
+    )
+    return FFS.mkfs(make_device(), config)
+
+
+def make_cffs(
+    policy: MetadataPolicy = MetadataPolicy.SYNC_METADATA,
+    embedded: bool = True,
+    grouping: bool = True,
+    **overrides,
+) -> CFFS:
+    config = CFFSConfig(
+        blocks_per_cg=512,
+        embedded_inodes=embedded,
+        explicit_grouping=grouping,
+        policy=policy,
+        cache_blocks=512,
+        **overrides,
+    )
+    return CFFS.mkfs(make_device(), config)
+
+
+@pytest.fixture
+def device() -> BlockDevice:
+    return make_device()
+
+
+@pytest.fixture
+def ffs() -> FFS:
+    return make_ffs()
+
+
+@pytest.fixture
+def cffs() -> CFFS:
+    return make_cffs()
+
+
+@pytest.fixture(params=["ffs", "cffs", "cffs-conventional"])
+def anyfs(request):
+    """Every file system implementation, for shared-behaviour tests."""
+    if request.param == "ffs":
+        return make_ffs()
+    if request.param == "cffs":
+        return make_cffs()
+    return make_cffs(embedded=False, grouping=False)

@@ -1,0 +1,100 @@
+"""Tests for the measurement and reporting helpers."""
+
+import pytest
+
+from repro.analysis import Table, bar_chart, format_series, percent_improvement, speedup
+from repro.disk.stats import DiskStats
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_speedup_rejects_zero(self):
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+
+    def test_percent_improvement(self):
+        assert percent_improvement(3.5, 1.0) == pytest.approx(250.0)
+        assert percent_improvement(1.1, 1.0) == pytest.approx(10.0, abs=0.5)
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("My Title", ["a", "bb"])
+        table.add_row("x", 1.5)
+        table.add_row("yy", 2)
+        out = table.render()
+        assert "My Title" in out
+        assert "bb" in out
+        assert "1.5" in out
+        assert "yy" in out
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_caption(self):
+        table = Table("t", ["a"])
+        table.add_row("v")
+        table.caption = "the caption"
+        assert "the caption" in table.render()
+
+    def test_column_alignment(self):
+        table = Table("t", ["col"])
+        table.add_row("very-long-cell-value")
+        lines = table.render().splitlines()
+        header = [l for l in lines if l.startswith("col")][0]
+        assert len(header) >= len("very-long-cell-value")
+
+
+class TestCharts:
+    def test_bar_chart_scales(self):
+        out = bar_chart("chart", [("a", 10.0), ("b", 5.0)])
+        lines = out.splitlines()
+        bar_a = [l for l in lines if l.startswith("a")][0]
+        bar_b = [l for l in lines if l.startswith("b")][0]
+        assert bar_a.count("#") > bar_b.count("#")
+
+    def test_bar_chart_empty(self):
+        assert "no data" in bar_chart("c", [])
+
+    def test_format_series(self):
+        out = format_series("fig", "x", [1, 2], [("s1", [10.0, 20.0]),
+                                                 ("s2", [1.0, 2.0])], unit="ms")
+        assert "s1" in out and "s2" in out and "ms" in out
+
+
+class TestDiskStats:
+    def test_delta(self):
+        stats = DiskStats()
+        stats.record_request(False, 8)
+        snap = stats.snapshot()
+        stats.record_request(True, 16)
+        stats.record_request(False, 8)
+        delta = stats.delta(snap)
+        assert delta.reads == 1
+        assert delta.writes == 1
+        assert delta.sectors_written == 16
+        assert delta.request_sizes == {8: 1, 16: 1}
+
+    def test_totals(self):
+        stats = DiskStats()
+        stats.record_request(False, 8)
+        stats.record_request(True, 8)
+        assert stats.total_requests == 2
+        assert stats.bytes_read == 8 * 512
+
+    def test_snapshot_independent(self):
+        stats = DiskStats()
+        snap = stats.snapshot()
+        stats.record_request(False, 8)
+        assert snap.reads == 0
+
+    def test_mechanical_time(self):
+        stats = DiskStats()
+        stats.seek_time = 1.0
+        stats.rotation_time = 2.0
+        stats.transfer_time = 3.0
+        assert stats.mechanical_time == 6.0

@@ -1,0 +1,230 @@
+"""Tests for C-FFS on-disk structures: embedded-inode directory blocks,
+group descriptors, and the superblock."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockdev.device import BLOCK_SIZE
+from repro.core import directory as dirfmt
+from repro.core import layout
+from repro.core.inode import CNode
+from repro.errors import InvalidArgument, NameTooLong
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126, exclude_characters="/"),
+    min_size=1,
+    max_size=20,
+)
+
+
+def embedded_payload(fileid: int = 7) -> bytes:
+    node = CNode(fileid)
+    node.init_as(layout.MODE_FILE, gen=1, mtime=0.5)
+    return node.pack()
+
+
+class TestCInode:
+    def test_roundtrip(self):
+        node = CNode(99)
+        node.init_as(layout.MODE_FILE, gen=3, mtime=2.5)
+        node.size = 4242
+        node.direct[3] = 1000
+        back = CNode.unpack(node.pack())
+        assert back.fileid == 99
+        assert back.size == 4242
+        assert back.direct[3] == 1000
+        assert back.mtime == 2.5
+
+    def test_packed_size(self):
+        assert len(embedded_payload()) == layout.CINODE_SIZE
+
+    def test_large_flag(self):
+        node = CNode(1)
+        node.init_as(layout.MODE_FILE, 1, 0.0)
+        assert not node.is_large
+        node.mark_large()
+        assert CNode.unpack(node.pack()).is_large
+
+
+class TestGroupDescriptor:
+    def test_roundtrip(self):
+        slots = [(i * 100, i) for i in range(layout.GROUP_SPAN)]
+        packed = layout.pack_gdesc(layout.EXT_GROUPED, 0xBEEF, 424242, slots)
+        assert len(packed) == layout.GDESC_SIZE
+        fields = layout.unpack_gdesc(packed)
+        assert fields["state"] == layout.EXT_GROUPED
+        assert fields["valid_mask"] == 0xBEEF
+        assert fields["owner"] == 424242
+        assert fields["slots"] == slots
+
+    def test_zeroed_is_free(self):
+        fields = layout.unpack_gdesc(bytes(layout.GDESC_SIZE))
+        assert fields["state"] == layout.EXT_FREE
+        assert fields["valid_mask"] == 0
+
+    def test_wrong_slot_count_rejected(self):
+        with pytest.raises(ValueError):
+            layout.pack_gdesc(0, 0, 0, [(0, 0)] * 3)
+
+
+class TestCffsSuperblock:
+    def test_roundtrip(self):
+        sb = {
+            "magic": layout.CFFS_MAGIC, "version": 1, "total_blocks": 3000,
+            "n_cgs": 5, "blocks_per_cg": 512, "gdt_blocks": 2,
+            "data_start": 4, "group_span": 16,
+            "config_flags": layout.SBF_EMBEDDED_INODES | layout.SBF_EXPLICIT_GROUPING,
+            "next_fileid": 100,
+            "next_gen": 9, "free_blocks": 2000, "ext_size": 8192,
+            "ext_direct": list(range(12)), "ext_indirect": 77, "ext_dindirect": 0,
+        }
+        root = embedded_payload(1)
+        packed = layout.pack_superblock(sb, root)
+        assert len(packed) == BLOCK_SIZE
+        assert layout.unpack_superblock(packed) == sb
+        assert layout.root_inode_bytes(packed) == root
+
+
+class TestEmbeddedDirents:
+    def test_fresh_block_empty(self):
+        block = dirfmt.init_dir_block()
+        assert dirfmt.live_entries(bytes(block)) == []
+
+    def test_add_embedded_and_find(self):
+        block = dirfmt.init_dir_block()
+        payload = embedded_payload(55)
+        off = dirfmt.add_entry(block, 0, "file.txt", dirfmt.ET_EMBEDDED,
+                               dirfmt.DK_FILE, payload)
+        assert off is not None
+        found = dirfmt.find_entry(bytes(block), "file.txt")
+        assert found is not None
+        sector, entry = found
+        assert sector == 0
+        _o, _r, etype, kind, name, payload_off = entry
+        assert etype == dirfmt.ET_EMBEDDED
+        assert bytes(block[payload_off:payload_off + layout.CINODE_SIZE]) == payload
+
+    def test_entry_never_crosses_sector(self):
+        """The integrity property: every entry (name + inode) fits in
+        one 512-byte sector."""
+        block = dirfmt.init_dir_block()
+        i = 0
+        while True:
+            off = dirfmt.add_entry(
+                block, i % 8, "n%05d" % i, dirfmt.ET_EMBEDDED,
+                dirfmt.DK_FILE, embedded_payload(i + 1),
+            )
+            if off is None:
+                break
+            i += 1
+        for sector, entry in dirfmt.live_entries(bytes(block)):
+            entry_off, reclen, _e, _k, _n, _p = entry
+            assert entry_off // layout.SECTOR_SIZE == sector
+            assert (entry_off + reclen - 1) // layout.SECTOR_SIZE == sector
+
+    def test_sector_capacity(self):
+        """~4 embedded entries fit per sector (96B inode + short name)."""
+        block = dirfmt.init_dir_block()
+        count = 0
+        while dirfmt.add_entry(block, 0, "x%02d" % count, dirfmt.ET_EMBEDDED,
+                               dirfmt.DK_FILE, embedded_payload(count + 1)):
+            count += 1
+        assert count == 4
+
+    def test_external_entries_are_small(self):
+        block = dirfmt.init_dir_block()
+        count = 0
+        while dirfmt.add_entry(block, 0, "x%02d" % count, dirfmt.ET_EXTERNAL,
+                               dirfmt.DK_FILE, struct.pack("<Q", count + 1)):
+            count += 1
+        assert count >= 20  # many more external refs fit per sector
+
+    def test_too_long_name_rejected(self):
+        block = dirfmt.init_dir_block()
+        with pytest.raises(NameTooLong):
+            dirfmt.add_entry(block, 0, "y" * 450, dirfmt.ET_EMBEDDED,
+                             dirfmt.DK_FILE, embedded_payload())
+
+    def test_payload_size_must_match(self):
+        block = dirfmt.init_dir_block()
+        with pytest.raises(InvalidArgument):
+            dirfmt.add_entry(block, 0, "x", dirfmt.ET_EMBEDDED, dirfmt.DK_FILE, b"tiny")
+
+    def test_remove_scrubs_inode(self):
+        """Deleted embedded inodes are zeroed so stale ones never look
+        live to fsck."""
+        block = dirfmt.init_dir_block()
+        off = dirfmt.add_entry(block, 0, "victim", dirfmt.ET_EMBEDDED,
+                               dirfmt.DK_FILE, embedded_payload(9))
+        dirfmt.remove_entry(block, "victim")
+        fields = layout.unpack_cinode(bytes(block[off:off + layout.CINODE_SIZE]))
+        assert fields["mode"] == layout.MODE_FREE
+
+    def test_remove_keeps_others_in_place(self):
+        block = dirfmt.init_dir_block()
+        offs = {}
+        for i, name in enumerate(("aa", "bb", "cc")):
+            offs[name] = dirfmt.add_entry(block, 0, name, dirfmt.ET_EMBEDDED,
+                                          dirfmt.DK_FILE, embedded_payload(i + 1))
+        dirfmt.remove_entry(block, "bb")
+        for name in ("aa", "cc"):
+            found = dirfmt.find_entry(bytes(block), name)
+            assert found is not None
+            assert found[1][5] == offs[name]  # payload offset unchanged
+
+    def test_rewrite_payload(self):
+        block = dirfmt.init_dir_block()
+        off = dirfmt.add_entry(block, 0, "f", dirfmt.ET_EMBEDDED,
+                               dirfmt.DK_FILE, embedded_payload(3))
+        node = CNode.unpack(bytes(block[off:off + layout.CINODE_SIZE]))
+        node.size = 777
+        dirfmt.rewrite_payload(block, off, node.pack())
+        back = layout.unpack_cinode(bytes(block[off:off + layout.CINODE_SIZE]))
+        assert back["size"] == 777
+
+    def test_change_entry_type_to_external(self):
+        block = dirfmt.init_dir_block()
+        dirfmt.add_entry(block, 0, "linked", dirfmt.ET_EMBEDDED,
+                         dirfmt.DK_FILE, embedded_payload(8))
+        found = dirfmt.find_entry(bytes(block), "linked")
+        entry_off = found[1][0]
+        new_off = dirfmt.change_entry_type(
+            block, entry_off, dirfmt.ET_EXTERNAL, struct.pack("<Q", 123)
+        )
+        found = dirfmt.find_entry(bytes(block), "linked")
+        assert found[1][2] == dirfmt.ET_EXTERNAL
+        assert struct.unpack_from("<Q", block, new_off)[0] == 123
+
+    def test_sectors_independent(self):
+        """Filling one sector leaves the others untouched."""
+        block = dirfmt.init_dir_block()
+        i = 0
+        while dirfmt.add_entry(block, 3, "s3-%03d" % i, dirfmt.ET_EMBEDDED,
+                               dirfmt.DK_FILE, embedded_payload(i + 1)) is not None:
+            i += 1
+        for s in (0, 1, 2, 4, 5, 6, 7):
+            assert dirfmt.sector_free_bytes(bytes(block), s) == layout.SECTOR_SIZE
+
+    @given(st.lists(names, min_size=1, max_size=40, unique=True), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_add_remove_property(self, entry_names, data):
+        """Random adds/removes across sectors preserve the chain and the
+        live-entry set."""
+        block = dirfmt.init_dir_block()
+        live = set()
+        for i, name in enumerate(entry_names):
+            sector = data.draw(st.integers(min_value=0, max_value=7), label="sector")
+            if live and data.draw(st.booleans(), label="remove?"):
+                victim = data.draw(st.sampled_from(sorted(live)), label="victim")
+                assert dirfmt.remove_entry(block, victim) is not None
+                live.discard(victim)
+            if dirfmt.add_entry(block, sector, name, dirfmt.ET_EMBEDDED,
+                                dirfmt.DK_FILE, embedded_payload(i + 1)) is not None:
+                live.add(name)
+            # Chain invariant across all sectors after each step.
+            list(dirfmt.iter_block(bytes(block)))
+        found = {e[4] for _s, e in dirfmt.live_entries(bytes(block))}
+        assert found == live

@@ -1,0 +1,147 @@
+"""Tests for device-image persistence and the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.blockdev.device import BLOCK_SIZE, BlockDevice
+from repro.cli import main
+from repro.core.filesystem import CFFS
+from repro.errors import InvalidArgument
+from tests.conftest import TEST_PROFILE, make_cffs
+
+
+class TestImages:
+    def test_roundtrip(self, tmp_path):
+        device = BlockDevice(TEST_PROFILE)
+        device.poke_block(5, b"five" * 1024)
+        device.poke_block(900, b"nine" * 1024)
+        path = str(tmp_path / "dev.img")
+        device.save_image(path)
+        back = BlockDevice.load_image(path, profile=TEST_PROFILE)
+        assert back.peek_block(5) == b"five" * 1024
+        assert back.peek_block(900) == b"nine" * 1024
+        assert back.peek_block(6) == bytes(BLOCK_SIZE)
+        assert back.total_blocks == device.total_blocks
+
+    def test_sparse(self, tmp_path):
+        device = BlockDevice(TEST_PROFILE)
+        device.poke_block(0, bytes(BLOCK_SIZE))
+        path = str(tmp_path / "dev.img")
+        device.save_image(path)
+        assert os.path.getsize(path) < 4096  # compressed, sparse
+
+    def test_not_an_image(self, tmp_path):
+        path = str(tmp_path / "junk")
+        with open(path, "wb") as handle:
+            handle.write(b"not an image at all")
+        with pytest.raises(InvalidArgument):
+            BlockDevice.load_image(path)
+
+    def test_filesystem_survives_image_roundtrip(self, tmp_path):
+        fs = make_cffs()
+        fs.mkdir("/d")
+        fs.write_file("/d/file", b"persisted" * 100)
+        fs.sync()
+        path = str(tmp_path / "fs.img")
+        fs.device.save_image(path)
+        device = BlockDevice.load_image(path, profile=TEST_PROFILE)
+        remounted = CFFS.mount(device)
+        assert remounted.read_file("/d/file") == b"persisted" * 100
+
+    def test_mount_derives_config_from_superblock(self, tmp_path):
+        fs = make_cffs(grouping=False)
+        fs.create("/marker")
+        fs.sync()
+        path = str(tmp_path / "fs.img")
+        fs.device.save_image(path)
+        device = BlockDevice.load_image(path, profile=TEST_PROFILE)
+        remounted = CFFS.mount(device)  # no config passed
+        assert remounted.config.explicit_grouping is False
+        assert remounted.config.embedded_inodes is True
+        assert remounted.exists("/marker")
+
+
+class TestCli:
+    def img(self, tmp_path) -> str:
+        path = str(tmp_path / "cli.img")
+        assert main(["mkfs", path]) == 0
+        return path
+
+    def test_mkfs_and_info(self, tmp_path, capsys):
+        self.img(tmp_path)
+        out = capsys.readouterr().out
+        assert "cffs" in out
+
+    def test_put_ls_get_roundtrip(self, tmp_path, capsys):
+        image = self.img(tmp_path)
+        host = tmp_path / "hello.txt"
+        host.write_bytes(b"hello from the host\n")
+        assert main(["put", image, str(host), "/hello"]) == 0
+        assert main(["ls", image, "/"]) == 0
+        out = capsys.readouterr().out
+        assert "hello" in out
+        dest = tmp_path / "back.txt"
+        assert main(["get", image, "/hello", str(dest)]) == 0
+        assert dest.read_bytes() == b"hello from the host\n"
+
+    def test_mkdir_stat(self, tmp_path, capsys):
+        image = self.img(tmp_path)
+        assert main(["mkdir", image, "/sub"]) == 0
+        assert main(["stat", image, "/sub"]) == 0
+        out = capsys.readouterr().out
+        assert "directory" in out
+
+    def test_rm(self, tmp_path, capsys):
+        image = self.img(tmp_path)
+        host = tmp_path / "f"
+        host.write_bytes(b"x")
+        main(["put", image, str(host), "/f"])
+        assert main(["rm", image, "/f"]) == 0
+        capsys.readouterr()
+        main(["ls", image, "/"])
+        assert capsys.readouterr().out.strip() == ""  # directory now empty
+
+    def test_fsck_clean(self, tmp_path, capsys):
+        image = self.img(tmp_path)
+        assert main(["fsck", image]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_fsck_detects_corruption(self, tmp_path, capsys):
+        image = self.img(tmp_path)
+        host = tmp_path / "f"
+        host.write_bytes(b"payload" * 100)
+        main(["put", image, str(host), "/f"])
+        device = BlockDevice.load_image(image)
+        block = bytearray(device.peek_block(0))
+        block[0] ^= 0xFF
+        device.poke_block(0, bytes(block))
+        device.save_image(image)
+        assert main(["fsck", image]) == 2  # unrecognizable magic
+
+    def test_ffs_images(self, tmp_path, capsys):
+        path = str(tmp_path / "ffs.img")
+        assert main(["mkfs", path, "--fs", "ffs"]) == 0
+        host = tmp_path / "f"
+        host.write_bytes(b"ffs data")
+        assert main(["put", path, str(host), "/f"]) == 0
+        assert main(["get", path, "/f", str(tmp_path / "out")]) == 0
+        assert (tmp_path / "out").read_bytes() == b"ffs data"
+        assert main(["fsck", path]) == 0
+
+    def test_technique_flags(self, tmp_path, capsys):
+        path = str(tmp_path / "plain.img")
+        assert main(["mkfs", path, "--no-embed", "--no-group"]) == 0
+        assert main(["info", path]) == 0
+        out = capsys.readouterr().out
+        assert "embedded=False grouping=False" in out
+
+    def test_bench_runs(self, capsys):
+        assert main(["bench", "--files", "150", "--configs", "cffs"]) == 0
+        assert "create" in capsys.readouterr().out
+
+    def test_missing_image(self, tmp_path, capsys):
+        assert main(["ls", str(tmp_path / "nope.img")]) == 1
+
+    def test_unknown_profile(self, tmp_path, capsys):
+        assert main(["mkfs", str(tmp_path / "x.img"), "--profile", "Floppy"]) == 2

@@ -1,0 +1,185 @@
+"""Crash-consistency: the integrity claims behind the write ordering.
+
+A "crash" is a copy of the device's current on-media state — delayed
+writes still sitting dirty in the buffer cache are lost, synchronous
+writes have landed.  Under ``SYNC_METADATA`` the ordering rules must
+leave every crash image *recoverable*: fsck may find repairable
+bitmap/descriptor staleness and leaked space, but never dangling names,
+torn directory chains, or doubly-used blocks.
+
+For C-FFS the paper's stronger claim also holds: because a name and its
+embedded inode share one sector, create and delete are atomic — there
+is no window in which the name exists without its inode.
+"""
+
+import pytest
+
+from repro.blockdev.device import BlockDevice
+from repro.cache.policy import MetadataPolicy
+from repro.fsck import fsck_cffs, fsck_ffs
+from tests.conftest import TEST_PROFILE, make_cffs, make_ffs
+
+
+def crash_image(fs) -> BlockDevice:
+    """The device as a crash would leave it (media state only)."""
+    image = BlockDevice(TEST_PROFILE)
+    for bno, data in fs.device._blocks.items():
+        image.poke_block(bno, data)
+    return image
+
+
+def crash_check(fs, checker) -> None:
+    report = checker(crash_image(fs))
+    assert report.ok, report.render()
+
+
+SCRIPT = [
+    ("mkdir", "/d"),
+    ("write", "/d/a", 500),
+    ("write", "/d/b", 9000),
+    ("mkdir", "/d/sub"),
+    ("write", "/d/sub/c", 3000),
+    ("link", "/d/a", "/d/a2"),
+    ("rename", "/d/b", "/d/sub/b"),
+    ("unlink", "/d/a"),
+    ("write", "/d/a", 700),     # recreate over the freed name
+    ("unlink", "/d/a2"),
+    ("truncate", "/d/sub/b", 100),
+    ("unlink", "/d/sub/c"),
+    ("rmdir_prep", "/d/sub"),
+    ("rmdir", "/d/sub"),
+]
+
+
+def apply_op(fs, op) -> None:
+    kind = op[0]
+    if kind == "mkdir":
+        fs.mkdir(op[1])
+    elif kind == "write":
+        fs.write_file(op[1], b"c" * op[2])
+    elif kind == "link":
+        fs.link(op[1], op[2])
+    elif kind == "rename":
+        fs.rename(op[1], op[2])
+    elif kind == "unlink":
+        fs.unlink(op[1])
+    elif kind == "truncate":
+        fs.truncate(op[1], op[2])
+    elif kind == "rmdir_prep":
+        for name in fs.readdir(op[1]):
+            fs.unlink(op[1] + "/" + name)
+    elif kind == "rmdir":
+        fs.rmdir(op[1])
+
+
+class TestCffsCrashes:
+    def test_recoverable_after_every_operation(self):
+        fs = make_cffs()
+        for op in SCRIPT:
+            apply_op(fs, op)
+            crash_check(fs, fsck_cffs)
+
+    def test_recoverable_mid_benchmark(self):
+        fs = make_cffs()
+        fs.mkdir("/bench")
+        for i in range(40):
+            fs.write_file("/bench/f%02d" % i, b"d" * 1024)
+            if i % 7 == 0:
+                crash_check(fs, fsck_cffs)
+        for i in range(40):
+            fs.unlink("/bench/f%02d" % i)
+            if i % 7 == 0:
+                crash_check(fs, fsck_cffs)
+
+    def test_create_is_atomic(self):
+        """After a crash, a created file either fully exists (name and
+        inode together) or not at all — never a dangling name."""
+        fs = make_cffs()
+        fs.mkdir("/d")
+        fs.create("/d/atomic")
+        image = crash_image(fs)
+        report = fsck_cffs(image)
+        assert report.ok, report.render()
+        # The single ordering write carried name+inode: the file is there.
+        assert report.files == 1
+
+    def test_delete_is_atomic(self):
+        fs = make_cffs()
+        fs.mkdir("/d")
+        fs.create("/d/doomed")
+        fs.sync()
+        fs.unlink("/d/doomed")
+        report = fsck_cffs(crash_image(fs))
+        assert report.ok, report.render()
+        assert report.files == 0  # name and inode vanished together
+
+    def test_pristine_after_sync(self):
+        fs = make_cffs()
+        for op in SCRIPT:
+            apply_op(fs, op)
+        fs.sync()
+        report = fsck_cffs(crash_image(fs))
+        assert report.pristine, report.render()
+
+    def test_softdep_crash_loses_but_never_corrupts_synced_state(self):
+        """Delayed metadata: a crash may lose recent operations
+        entirely (they were only in the cache), but what was synced
+        stays recoverable."""
+        fs = make_cffs(policy=MetadataPolicy.DELAYED_METADATA)
+        fs.mkdir("/d")
+        fs.write_file("/d/durable", b"x" * 2000)
+        fs.sync()
+        fs.write_file("/d/volatile", b"y" * 2000)  # never synced
+        report = fsck_cffs(crash_image(fs))
+        assert report.ok, report.render()
+        assert report.files == 1  # only the synced file exists
+
+
+class TestFfsCrashes:
+    def test_recoverable_after_every_operation(self):
+        fs = make_ffs()
+        for op in SCRIPT:
+            apply_op(fs, op)
+            crash_check(fs, fsck_ffs)
+
+    def test_create_never_leaves_dangling_name(self):
+        """FFS ordering: the inode write precedes the dirent write, so
+        a crash can leak an inode but never dangle a name."""
+        fs = make_ffs()
+        fs.mkdir("/d")
+        for i in range(25):
+            fs.create("/d/f%02d" % i)
+            report = fsck_ffs(crash_image(fs))
+            assert not any("free inode" in e for e in report.errors), report.render()
+
+    def test_delete_never_revives_inode(self):
+        fs = make_ffs()
+        fs.mkdir("/d")
+        for i in range(25):
+            fs.write_file("/d/f%02d" % i, b"z" * 600)
+        fs.sync()
+        for i in range(25):
+            fs.unlink("/d/f%02d" % i)
+            report = fsck_ffs(crash_image(fs))
+            assert report.ok, report.render()
+
+    def test_pristine_after_sync(self):
+        fs = make_ffs()
+        for op in SCRIPT:
+            apply_op(fs, op)
+        fs.sync()
+        report = fsck_ffs(crash_image(fs))
+        assert report.pristine, report.render()
+
+
+class TestCrashImageIsolation:
+    def test_crash_image_is_independent(self):
+        fs = make_cffs()
+        fs.mkdir("/d")
+        fs.create("/d/x")
+        image = crash_image(fs)
+        fs.unlink("/d/x")
+        fs.sync()
+        # The snapshot still shows the file; the live device does not.
+        assert fsck_cffs(image).files == 1
+        assert fsck_cffs(fs.device).files == 0

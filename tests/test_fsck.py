@@ -1,0 +1,228 @@
+"""Offline checker tests: clean images stay clean, injected corruption
+is detected."""
+
+import struct
+
+import pytest
+
+from repro.blockdev.device import BLOCK_SIZE
+from repro.core import layout as clayout
+from repro.ffs import layout as flayout
+from repro.fsck import fsck_cffs, fsck_ffs
+from tests.conftest import make_cffs, make_ffs
+
+
+def populated_ffs():
+    fs = make_ffs()
+    fs.mkdir("/d")
+    fs.mkdir("/d/sub")
+    for i in range(30):
+        fs.write_file("/d/f%02d" % i, b"x" * (512 * (i + 1)))
+    fs.write_file("/top", b"top level")
+    fs.link("/top", "/top2")
+    fs.sync()
+    return fs
+
+
+def populated_cffs(**kwargs):
+    fs = make_cffs(**kwargs)
+    fs.mkdir("/d")
+    fs.mkdir("/d/sub")
+    for i in range(30):
+        fs.write_file("/d/f%02d" % i, b"x" * (512 * (i + 1)))
+    fs.write_file("/big", b"B" * (BLOCK_SIZE * 16))
+    fs.write_file("/top", b"top level")
+    fs.link("/top", "/top2")
+    fs.sync()
+    return fs
+
+
+class TestFfsClean:
+    def test_fresh_image_clean(self):
+        fs = make_ffs()
+        fs.sync()
+        assert fsck_ffs(fs.device).pristine
+
+    def test_populated_image_clean(self):
+        fs = populated_ffs()
+        report = fsck_ffs(fs.device)
+        assert report.pristine, report.render()
+        assert report.files == 31  # 30 + /top (hard link counted once)
+        assert report.directories == 3  # root, /d, /d/sub
+
+    def test_clean_after_deletes(self):
+        fs = populated_ffs()
+        for i in range(0, 30, 2):
+            fs.unlink("/d/f%02d" % i)
+        fs.sync()
+        assert fsck_ffs(fs.device).pristine
+
+    def test_clean_after_renames(self):
+        fs = populated_ffs()
+        fs.rename("/d/f01", "/d/sub/moved")
+        fs.rename("/top", "/renamed")
+        fs.sync()
+        report = fsck_ffs(fs.device)
+        assert report.ok, report.render()
+
+
+class TestFfsCorruption:
+    def test_bad_magic(self):
+        fs = populated_ffs()
+        block = bytearray(fs.device.peek_block(0))
+        block[0] ^= 0xFF
+        fs.device.poke_block(0, bytes(block))
+        report = fsck_ffs(fs.device)
+        assert not report.ok
+        assert "magic" in report.errors[0]
+
+    def test_dangling_dirent(self):
+        """A name pointing at a freed inode is detected."""
+        fs = populated_ffs()
+        handle = fs._resolve("/top")
+        bno, slot = fs._inode_location(handle.inum)
+        raw = bytearray(fs.device.peek_block(bno))
+        raw[slot * flayout.INODE_SIZE:(slot + 1) * flayout.INODE_SIZE] = bytes(
+            flayout.INODE_SIZE
+        )
+        fs.device.poke_block(bno, bytes(raw))
+        report = fsck_ffs(fs.device)
+        assert any("free inode" in e for e in report.errors)
+
+    def test_wrong_nlink(self):
+        fs = populated_ffs()
+        handle = fs._resolve("/d/f00")
+        bno, slot = fs._inode_location(handle.inum)
+        raw = bytearray(fs.device.peek_block(bno))
+        fields = flayout.unpack_inode(
+            bytes(raw[slot * flayout.INODE_SIZE:(slot + 1) * flayout.INODE_SIZE])
+        )
+        repacked = flayout.pack_inode(
+            fields["mode"], 5, fields["flags"], fields["gen"], fields["size"],
+            fields["mtime"], fields["direct"], fields["indirect"],
+            fields["dindirect"], fields["nblocks"],
+        )
+        raw[slot * flayout.INODE_SIZE:(slot + 1) * flayout.INODE_SIZE] = repacked
+        fs.device.poke_block(bno, bytes(raw))
+        report = fsck_ffs(fs.device)
+        assert any("nlink" in e for e in report.errors)
+
+    def test_bitmap_disagreement(self):
+        fs = populated_ffs()
+        handle = fs._resolve("/d/f05")
+        data_block = handle.direct[0]
+        cgi = fs.alloc.cg_of_block(data_block)
+        bitmap_bno = fs.cg_base(cgi) + 1
+        raw = bytearray(fs.device.peek_block(bitmap_bno))
+        off = data_block - fs.cg_base(cgi)
+        raw[off >> 3] &= ~(1 << (off & 7))
+        fs.device.poke_block(bitmap_bno, bytes(raw))
+        report = fsck_ffs(fs.device)
+        assert any("free in bitmap" in r for r in report.repairs)
+        assert not report.pristine
+
+
+class TestCffsClean:
+    def test_fresh_image_clean(self):
+        fs = make_cffs()
+        fs.sync()
+        assert fsck_cffs(fs.device).pristine
+
+    def test_populated_image_clean(self):
+        fs = populated_cffs()
+        report = fsck_cffs(fs.device)
+        assert report.pristine, report.render()
+        assert report.files == 32
+        assert report.directories == 3
+
+    def test_all_grid_configs_clean(self):
+        for embedded in (True, False):
+            for grouping in (True, False):
+                fs = populated_cffs(embedded=embedded, grouping=grouping)
+                report = fsck_cffs(fs.device)
+                assert report.ok, (embedded, grouping, report.render())
+
+    def test_clean_after_churn(self):
+        fs = populated_cffs()
+        for i in range(0, 30, 3):
+            fs.unlink("/d/f%02d" % i)
+        fs.rename("/d/f01", "/d/sub/x")
+        fs.write_file("/d/new", b"n" * 5000)
+        fs.sync()
+        report = fsck_cffs(fs.device)
+        assert report.ok, report.render()
+
+    def test_inodes_found_via_hierarchy(self):
+        """No static tables: the walk alone finds every file, matching
+        the paper's recovery claim."""
+        fs = make_cffs()
+        fs.mkdir("/a")
+        fs.mkdir("/a/b")
+        fs.mkdir("/a/b/c")
+        fs.write_file("/a/b/c/deep", b"found me")
+        fs.sync()
+        report = fsck_cffs(fs.device)
+        assert report.ok
+        assert report.files == 1
+        assert report.directories == 4
+
+
+class TestCffsCorruption:
+    def test_bad_magic(self):
+        fs = populated_cffs()
+        block = bytearray(fs.device.peek_block(0))
+        block[0] ^= 0xFF
+        fs.device.poke_block(0, bytes(block))
+        assert not fsck_cffs(fs.device).ok
+
+    def test_group_slot_ownership_mismatch(self):
+        fs = populated_cffs()
+        handle = fs._resolve("/d/f00")
+        bno = handle.direct[0]
+        ext = fs.groups.extent_of_block(bno)
+        desc = fs.groups.read_desc(ext)
+        slot = bno - fs.groups.extent_base(ext)
+        desc["slots"][slot] = (999999, 0)  # wrong owner
+        fs.groups.write_desc(ext, desc)
+        fs.sync()
+        report = fsck_cffs(fs.device)
+        assert any("descriptor says" in r for r in report.repairs)
+        assert not report.pristine
+
+    def test_referenced_block_with_free_slot(self):
+        fs = populated_cffs()
+        handle = fs._resolve("/d/f00")
+        bno = handle.direct[0]
+        ext = fs.groups.extent_of_block(bno)
+        desc = fs.groups.read_desc(ext)
+        slot = bno - fs.groups.extent_base(ext)
+        desc["valid_mask"] &= ~(1 << slot)
+        fs.groups.write_desc(ext, desc)
+        fs.sync()
+        report = fsck_cffs(fs.device)
+        assert any("slot is free" in r for r in report.repairs)
+        assert not report.pristine
+
+    def test_external_nlink_mismatch(self):
+        fs = populated_cffs()
+        handle = fs._resolve("/top")
+        inum = handle.loc[1]
+        handle.nlink = 9
+        fs.ext.store(inum, handle, sync=False)
+        fs.sync()
+        report = fsck_cffs(fs.device)
+        assert any("nlink" in e for e in report.errors)
+
+    def test_bitmap_disagreement(self):
+        fs = populated_cffs()
+        handle = fs._resolve("/big")
+        data_block = handle.direct[0]
+        cgi = fs.alloc.cg_of_block(data_block)
+        bitmap_bno = fs.cg_base(cgi) + 1
+        raw = bytearray(fs.device.peek_block(bitmap_bno))
+        off = data_block - fs.cg_base(cgi)
+        raw[off >> 3] &= ~(1 << (off & 7))
+        fs.device.poke_block(bitmap_bno, bytes(raw))
+        report = fsck_cffs(fs.device)
+        assert any("free in bitmap" in r for r in report.repairs)
+        assert not report.pristine

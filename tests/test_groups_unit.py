@@ -1,0 +1,180 @@
+"""Unit tests for the GroupTable (extent descriptors and slots)."""
+
+import pytest
+
+from repro.cache.buffercache import BufferCache
+from repro.core.groups import GroupTable
+from repro.core.layout import EXT_FREE, EXT_GROUPED, EXT_UNGROUPED, GROUP_SPAN
+from repro.errors import CorruptFileSystem
+from tests.conftest import make_device
+
+BPC = 512
+DATA_START = 4
+
+
+def make_table(span: int = GROUP_SPAN):
+    cache = BufferCache(make_device(), 256)
+    table = GroupTable(
+        cache,
+        n_cgs=3,
+        blocks_per_cg=BPC,
+        gdt_blocks=2,
+        data_start=DATA_START,
+        cg_base_of=lambda cgi: 1 + cgi * BPC,
+        span=span,
+    )
+    # Zeroed descriptor blocks are valid FREE descriptors.
+    for cgi in range(3):
+        for g in range(2):
+            cache.create(1 + cgi * BPC + 2 + g)
+    return table, cache
+
+
+class TestGeometry:
+    def test_extent_of_data_block(self):
+        table, _ = make_table()
+        base = 1 + DATA_START
+        assert table.extent_of_block(base) == (0, 0)
+        assert table.extent_of_block(base + GROUP_SPAN) == (0, 1)
+        assert table.extent_of_block(1 + BPC + DATA_START) == (1, 0)
+
+    def test_metadata_blocks_have_no_extent(self):
+        table, _ = make_table()
+        assert table.extent_of_block(0) is None
+        assert table.extent_of_block(1) is None      # cg descriptor
+        assert table.extent_of_block(2) is None      # bitmap
+        assert table.extent_of_block(3) is None      # gdt
+
+    def test_extent_base_roundtrip(self):
+        table, _ = make_table()
+        for ext in ((0, 0), (0, 5), (2, 3)):
+            base = table.extent_base(ext)
+            assert table.extent_of_block(base) == ext
+            assert table.extent_of_block(base + GROUP_SPAN - 1) == ext
+
+    def test_span_bounds_checked(self):
+        cache = BufferCache(make_device(), 64)
+        with pytest.raises(ValueError):
+            GroupTable(cache, 1, BPC, 2, DATA_START, lambda c: 1, span=17)
+        with pytest.raises(ValueError):
+            GroupTable(cache, 1, BPC, 2, DATA_START, lambda c: 1, span=0)
+
+
+class TestSlots:
+    def test_claim_then_take(self):
+        table, _ = make_table()
+        table.claim_extent((0, 0), owner=99)
+        desc = table.read_desc((0, 0))
+        assert desc["state"] == EXT_GROUPED
+        assert desc["owner"] == 99
+        bno = table.take_slot((0, 0), fileid=7, fblock=0)
+        assert bno == table.extent_base((0, 0))
+        assert table.read_desc((0, 0))["slots"][0] == (7, 0)
+
+    def test_take_fills_lowest_first(self):
+        table, _ = make_table()
+        table.claim_extent((0, 0), owner=1)
+        bnos = [table.take_slot((0, 0), i, 0) for i in range(4)]
+        base = table.extent_base((0, 0))
+        assert bnos == [base, base + 1, base + 2, base + 3]
+
+    def test_full_extent_returns_none(self):
+        table, _ = make_table(span=4)
+        table.claim_extent((0, 0), owner=1)
+        for i in range(4):
+            assert table.take_slot((0, 0), i, 0) is not None
+        assert table.take_slot((0, 0), 99, 0) is None
+
+    def test_active_hint_lifecycle(self):
+        table, _ = make_table(span=4)
+        table.claim_extent((0, 0), owner=5)
+        assert table.active_extent(5) == (0, 0)
+        for i in range(4):
+            table.take_slot((0, 0), i, 0)
+        assert table.active_extent(5) is None  # full extents drop out
+        table.free_slot(table.extent_base((0, 0)) + 1)
+        assert table.active_extent(5) == (0, 0)  # partially free again
+
+    def test_free_slot_releases_empty_extent(self):
+        table, _ = make_table(span=4)
+        table.claim_extent((0, 0), owner=1)
+        a = table.take_slot((0, 0), 1, 0)
+        b = table.take_slot((0, 0), 2, 0)
+        assert table.free_slot(a) is False
+        assert table.free_slot(b) is True
+        assert table.read_desc((0, 0))["state"] == EXT_FREE
+
+    def test_double_free_slot_rejected(self):
+        table, _ = make_table()
+        table.claim_extent((0, 0), owner=1)
+        bno = table.take_slot((0, 0), 1, 0)
+        table.take_slot((0, 0), 2, 1)  # keep the extent alive
+        table.free_slot(bno)
+        with pytest.raises(CorruptFileSystem):
+            table.free_slot(bno)
+
+    def test_claim_non_free_rejected(self):
+        table, _ = make_table()
+        table.claim_extent((0, 0), owner=1)
+        with pytest.raises(CorruptFileSystem):
+            table.claim_extent((0, 0), owner=2)
+
+    def test_live_span_covers_extremes(self):
+        table, _ = make_table()
+        table.claim_extent((0, 0), owner=1)
+        base = table.extent_base((0, 0))
+        table.take_slot((0, 0), 1, 0)   # slot 0
+        table.take_slot((0, 0), 2, 0)   # slot 1
+        table.free_slot(base)           # hole at slot 0
+        table.take_slot((0, 0), 3, 0)   # refills slot 0
+        table.take_slot((0, 0), 4, 0)   # slot 2
+        start, count, _desc = table.live_span((0, 0))
+        assert (start, count) == (base, 3)
+
+    def test_live_span_none_for_empty(self):
+        table, _ = make_table()
+        assert table.live_span((0, 0)) is None
+
+    def test_grouped_blocks_listing(self):
+        table, _ = make_table()
+        table.claim_extent((0, 0), owner=1)
+        table.take_slot((0, 0), 10, 0)
+        table.take_slot((0, 0), 11, 3)
+        base = table.extent_base((0, 0))
+        assert table.grouped_blocks((0, 0)) == [(base, 10, 0), (base + 1, 11, 3)]
+
+
+class TestUngroupedTransitions:
+    def test_free_to_ungrouped(self):
+        table, _ = make_table()
+        bno = table.extent_base((0, 2)) + 5
+        table.note_ungrouped_alloc(bno)
+        assert table.read_desc((0, 2))["state"] == EXT_UNGROUPED
+
+    def test_foreign_alloc_in_group_rejected(self):
+        table, _ = make_table()
+        table.claim_extent((0, 0), owner=1)
+        with pytest.raises(CorruptFileSystem):
+            table.note_ungrouped_alloc(table.extent_base((0, 0)))
+
+    def test_ungrouped_reverts_when_empty(self):
+        table, _ = make_table()
+        bno = table.extent_base((0, 2)) + 5
+        table.note_ungrouped_alloc(bno)
+        allocated = {bno}
+        table.note_ungrouped_free(bno, lambda b: b in allocated - {bno})
+        assert table.read_desc((0, 2))["state"] == EXT_FREE
+
+    def test_ungrouped_stays_while_occupied(self):
+        table, _ = make_table()
+        base = table.extent_base((0, 2))
+        table.note_ungrouped_alloc(base)
+        table.note_ungrouped_alloc(base + 1)
+        table.note_ungrouped_free(base, lambda b: b == base + 1)
+        assert table.read_desc((0, 2))["state"] == EXT_UNGROUPED
+
+    def test_drop_hints(self):
+        table, _ = make_table()
+        table.claim_extent((0, 0), owner=1)
+        table.drop_hints()
+        assert table.active_extent(1) is None

@@ -1,0 +1,166 @@
+"""Property-based model check: random operation sequences against a
+dictionary model, for every file system configuration; the image must
+also pass fsck afterwards."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FileExists, FileNotFound
+from repro.fsck import fsck_cffs, fsck_ffs
+from tests.conftest import make_cffs, make_ffs
+
+# Small name pool so operations collide meaningfully.
+name_pool = st.sampled_from(["a", "b", "c", "dd", "ee", "file1", "file2"])
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), name_pool,
+                  st.integers(min_value=0, max_value=6000)),
+        st.tuples(st.just("unlink"), name_pool),
+        st.tuples(st.just("rename"), name_pool, name_pool),
+        st.tuples(st.just("truncate"), name_pool,
+                  st.integers(min_value=0, max_value=3000)),
+        st.tuples(st.just("link"), name_pool, name_pool),
+        st.tuples(st.just("sync_drop"),),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def run_model(fs, ops):
+    model = {}
+
+    def payload(n):
+        return bytes((i * 7 + n) % 256 for i in range(n))
+
+    for op in ops:
+        kind = op[0]
+        if kind == "write":
+            _, name, size = op
+            data = payload(size)
+            fs.write_file("/" + name, data)
+            # Hard-linked names share a content cell, so a write via
+            # one name is visible through all of them.
+            _model_set(model, name, data)
+        elif kind == "unlink":
+            _, name = op
+            if name in model:
+                fs.unlink("/" + name)
+                _model_unlink(model, name)
+            else:
+                with pytest.raises(FileNotFound):
+                    fs.unlink("/" + name)
+        elif kind == "rename":
+            _, old, new = op
+            if old not in model:
+                with pytest.raises(FileNotFound):
+                    fs.rename("/" + old, "/" + new)
+            elif new in model and model[new] is model[old]:
+                # POSIX: renaming one hard link onto another name of
+                # the same file is a no-op; both names remain.
+                fs.rename("/" + old, "/" + new)
+            else:
+                fs.rename("/" + old, "/" + new)
+                _model_rename(model, old, new)
+        elif kind == "truncate":
+            _, name, size = op
+            if name in model:
+                fs.truncate("/" + name, size)
+                data = _model_get(model, name)
+                if size <= len(data):
+                    _model_set_content(model, name, data[:size])
+                else:
+                    _model_set_content(model, name, data + bytes(size - len(data)))
+        elif kind == "link":
+            _, src, dst = op
+            if src in model and dst not in model:
+                fs.link("/" + src, "/" + dst)
+                _model_link(model, src, dst)
+            elif src in model and dst in model:
+                with pytest.raises(FileExists):
+                    fs.link("/" + src, "/" + dst)
+        elif kind == "sync_drop":
+            fs.sync()
+            fs.drop_caches()
+
+    # Final verification: contents and directory listing agree.
+    assert sorted(fs.readdir("/")) == sorted(model.keys())
+    for name in model:
+        assert fs.read_file("/" + name) == _model_get(model, name), name
+    fs.sync()
+    return fs
+
+
+# The model stores {name: group_id}; groups map to content so hard
+# links alias properly.
+def _fresh_model():
+    return {}
+
+
+def _model_set(model, name, data):
+    group = model.get(name)
+    if group is None:
+        model[name] = [data]  # one-element list is the shared cell
+    else:
+        group[0] = data
+
+
+def _model_set_content(model, name, data):
+    model[name][0] = data
+
+
+def _model_get(model, name):
+    return model[name][0]
+
+
+def _model_unlink(model, name):
+    del model[name]
+
+
+def _model_rename(model, old, new):
+    cell = model.pop(old)
+    model[new] = cell
+
+
+def _model_link(model, src, dst):
+    model[dst] = model[src]
+
+
+@given(operations)
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_ops_cffs(ops):
+    fs = run_model(make_cffs(), ops)
+    report = fsck_cffs(fs.device)
+    assert report.ok, report.render()
+
+
+@given(operations)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_ops_cffs_conventional(ops):
+    fs = run_model(make_cffs(embedded=False, grouping=False), ops)
+    report = fsck_cffs(fs.device)
+    assert report.ok, report.render()
+
+
+@given(operations)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_ops_ffs(ops):
+    fs = run_model(make_ffs(), ops)
+    report = fsck_ffs(fs.device)
+    assert report.ok, report.render()
+
+
+@given(operations)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_ops_cffs_softdep(ops):
+    from repro.cache.policy import MetadataPolicy
+
+    fs = run_model(make_cffs(policy=MetadataPolicy.DELAYED_METADATA), ops)
+    report = fsck_cffs(fs.device)
+    assert report.ok, report.render()

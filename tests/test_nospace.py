@@ -1,0 +1,131 @@
+"""Disk-full behaviour: graceful NoSpace, consistency, and recovery."""
+
+import pytest
+
+from repro.blockdev.device import BLOCK_SIZE, BlockDevice
+from repro.cache.policy import MetadataPolicy
+from repro.core.filesystem import CFFS, CFFSConfig
+from repro.disk.profiles import DriveProfile
+from repro.errors import NoSpace
+from repro.ffs.filesystem import FFS, FFSConfig
+from repro.fsck import fsck_cffs, fsck_ffs
+
+TINY_PROFILE = DriveProfile(
+    name="TinyDrive 3MB",
+    year=1996,
+    rpm=5400.0,
+    heads=2,
+    zone_table=((100, 32),),
+    single_cyl_seek_ms=1.0,
+    avg_seek_ms=5.0,
+    full_seek_ms=10.0,
+    write_cache=True,
+    write_buffer_kb=64,
+)
+
+
+def tiny_cffs(**overrides) -> CFFS:
+    config = CFFSConfig(blocks_per_cg=256, cache_blocks=128, **overrides)
+    return CFFS.mkfs(BlockDevice(TINY_PROFILE), config)
+
+
+def tiny_ffs() -> FFS:
+    config = FFSConfig(blocks_per_cg=256, inodes_per_cg=64, cache_blocks=128)
+    return FFS.mkfs(BlockDevice(TINY_PROFILE), config)
+
+
+def fill_until_nospace(fs, size: int = 8 * BLOCK_SIZE) -> int:
+    written = 0
+    while True:
+        try:
+            fs.write_file("/fill%05d" % written, b"f" * size)
+        except NoSpace:
+            return written
+        written += 1
+        if written > 10000:  # pragma: no cover - guard
+            raise AssertionError("tiny disk never filled")
+
+
+class TestCffsFull:
+    def test_fill_raises_nospace(self):
+        fs = tiny_cffs()
+        count = fill_until_nospace(fs)
+        assert count > 10
+
+    def test_consistent_after_enospc(self):
+        fs = tiny_cffs()
+        fill_until_nospace(fs)
+        fs.sync()
+        report = fsck_cffs(fs.device)
+        assert report.ok, report.render()
+
+    def test_free_then_write_again(self):
+        fs = tiny_cffs()
+        count = fill_until_nospace(fs)
+        for i in range(0, count, 2):
+            fs.unlink("/fill%05d" % i)
+        fs.write_file("/after", b"a" * (4 * BLOCK_SIZE))
+        assert fs.read_file("/after") == b"a" * (4 * BLOCK_SIZE)
+        fs.sync()
+        assert fsck_cffs(fs.device).ok
+
+    def test_grouping_falls_back_when_no_extents(self):
+        """When no whole free extent remains, small files still get
+        blocks (ungrouped) instead of failing."""
+        fs = tiny_cffs()
+        # Consume most space with large (ungrouped) files.
+        try:
+            i = 0
+            while True:
+                fs.write_file("/big%03d" % i, b"B" * (14 * BLOCK_SIZE))
+                i += 1
+        except NoSpace:
+            pass
+        # Free one large file: its blocks are scattered singles, not
+        # necessarily a whole aligned extent.
+        fs.unlink("/big000")
+        fs.write_file("/small", b"s" * 1024)
+        assert fs.read_file("/small") == b"s" * 1024
+
+    def test_full_data_preserved(self):
+        fs = tiny_cffs()
+        fs.write_file("/keep", b"K" * 5000)
+        fill_until_nospace(fs)
+        assert fs.read_file("/keep") == b"K" * 5000
+        fs.sync()
+        fs.drop_caches()
+        assert fs.read_file("/keep") == b"K" * 5000
+
+
+class TestFfsFull:
+    def test_fill_raises_nospace(self):
+        fs = tiny_ffs()
+        assert fill_until_nospace(fs) > 10
+
+    def test_consistent_after_enospc(self):
+        fs = tiny_ffs()
+        fill_until_nospace(fs)
+        fs.sync()
+        report = fsck_ffs(fs.device)
+        assert report.ok, report.render()
+
+    def test_inode_exhaustion(self):
+        """Empty files exhaust inodes before blocks."""
+        fs = tiny_ffs()
+        created = 0
+        with pytest.raises(NoSpace):
+            while True:
+                fs.create("/empty%05d" % created)
+                created += 1
+        # 64 inodes/cg minus root and per-cg accounting.
+        assert created >= 50
+        fs.sync()
+        assert fsck_ffs(fs.device).ok
+
+    def test_cffs_has_no_inode_limit(self):
+        """C-FFS allocates no static inodes: the same create storm that
+        exhausts FFS inodes only consumes directory blocks."""
+        fs = tiny_cffs()
+        for i in range(120):  # more than the FFS tiny image could hold
+            fs.create("/e%05d" % i)
+        assert len(fs.readdir("/")) == 120

@@ -1,0 +1,61 @@
+"""Tests for the PostMark-style workload."""
+
+import pytest
+
+from repro.fsck import fsck_cffs
+from repro.workloads.postmark import PostmarkConfig, run_postmark
+from tests.conftest import make_cffs
+
+SMALL = PostmarkConfig(n_files=60, n_transactions=150, n_dirs=3)
+
+
+class TestPostmark:
+    def test_runs_and_times_all_phases(self):
+        fs = make_cffs()
+        result = run_postmark(fs, SMALL)
+        assert result.create_seconds > 0
+        assert result.transaction_seconds > 0
+        assert result.delete_seconds > 0
+
+    def test_transaction_mix(self):
+        fs = make_cffs()
+        result = run_postmark(fs, SMALL)
+        total = result.reads + result.appends + result.creates + result.deletes
+        assert total == SMALL.n_transactions
+        assert result.reads > 0
+        assert result.appends > 0
+        assert result.creates > 0
+        assert result.deletes > 0
+
+    def test_pool_fully_deleted(self):
+        fs = make_cffs()
+        run_postmark(fs, SMALL)
+        for d in range(SMALL.n_dirs):
+            assert fs.readdir("/postmark/d%03d" % d) == []
+
+    def test_image_clean_afterwards(self):
+        fs = make_cffs()
+        run_postmark(fs, SMALL)
+        report = fsck_cffs(fs.device)
+        assert report.ok, report.render()
+
+    def test_deterministic(self):
+        a = run_postmark(make_cffs(), SMALL)
+        b = run_postmark(make_cffs(), SMALL)
+        assert a.total_seconds == b.total_seconds
+        assert a.disk_requests == b.disk_requests
+
+    def test_different_seeds_differ(self):
+        a = run_postmark(make_cffs(), SMALL)
+        b = run_postmark(make_cffs(), PostmarkConfig(
+            n_files=60, n_transactions=150, n_dirs=3, seed=2024,
+        ))
+        assert a.total_seconds != b.total_seconds
+
+    def test_appends_grow_files(self):
+        fs = make_cffs()
+        cfg = PostmarkConfig(n_files=40, n_transactions=100, n_dirs=2,
+                             read_bias=0.0, data_fraction=1.0)
+        result = run_postmark(fs, cfg)
+        assert result.appends == 100
+        assert result.reads == 0

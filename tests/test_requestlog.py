@@ -1,0 +1,122 @@
+"""Tests for the drive request log and its analysis helpers."""
+
+import pytest
+
+from repro.analysis.requestlog import compare_streams, render_summary, summarize
+from repro.disk.drive import SimulatedDisk
+from repro.disk.stats import RequestRecord
+from tests.conftest import TEST_PROFILE, make_cffs
+
+
+def rec(op, lba, n, issue=0.0, completion=0.001, source="media"):
+    return RequestRecord(op=op, lba=lba, nsectors=n, issue=issue,
+                         completion=completion, source=source)
+
+
+class TestLogCapture:
+    def test_disabled_by_default(self):
+        disk = SimulatedDisk(TEST_PROFILE)
+        disk.read(0, 8)
+        assert disk.request_log is None
+
+    def test_captures_reads_and_writes(self):
+        disk = SimulatedDisk(TEST_PROFILE)
+        disk.start_request_log()
+        disk.read(0, 8)
+        disk.write(100, 8)
+        log = disk.stop_request_log()
+        assert [r.op for r in log] == ["read", "write"]
+        assert log[0].lba == 0
+        assert log[1].source == "buffer"  # write-behind profile
+
+    def test_latency_positive_and_ordered(self):
+        disk = SimulatedDisk(TEST_PROFILE)
+        disk.start_request_log()
+        for i in range(5):
+            disk.read(i * 500, 8)
+        log = disk.stop_request_log()
+        for record in log:
+            assert record.latency > 0
+        issues = [r.issue for r in log]
+        assert issues == sorted(issues)
+
+    def test_source_classification(self):
+        disk = SimulatedDisk(TEST_PROFILE)
+        disk.start_request_log()
+        disk.read(0, 8)       # media
+        disk.read(0, 8)       # cache (same segment)
+        disk.write(5000, 8)   # buffer
+        disk.read(5000, 8)    # buffer (pending write)
+        log = disk.stop_request_log()
+        assert [r.source for r in log] == ["media", "cache", "buffer", "buffer"]
+
+    def test_stop_clears(self):
+        disk = SimulatedDisk(TEST_PROFILE)
+        disk.start_request_log()
+        disk.read(0, 8)
+        disk.stop_request_log()
+        assert disk.request_log is None
+        assert disk.stop_request_log() == []
+
+
+class TestSummarize:
+    def test_counts(self):
+        log = [rec("read", 0, 8), rec("write", 8, 8), rec("read", 16, 16)]
+        s = summarize(log)
+        assert s.requests == 3
+        assert s.reads == 2
+        assert s.writes == 1
+        assert s.sectors == 32
+
+    def test_sequentiality(self):
+        log = [rec("read", 0, 8), rec("read", 8, 8), rec("read", 100, 8)]
+        s = summarize(log)
+        assert s.adjacent_pairs == 1
+        assert s.sequentiality == pytest.approx(0.5)
+
+    def test_backward_pairs(self):
+        log = [rec("read", 100, 8), rec("read", 0, 8)]
+        assert summarize(log).backward_pairs == 1
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.requests == 0
+        assert s.sequentiality == 0.0
+        assert s.mean_latency_ms == 0.0
+
+    def test_size_histogram(self):
+        log = [rec("read", 0, 8), rec("read", 50, 8), rec("read", 90, 128)]
+        s = summarize(log)
+        assert s.size_histogram == {8: 2, 128: 1}
+
+    def test_render(self):
+        text = render_summary(summarize([rec("read", 0, 8)]), "mine")
+        assert "mine" in text
+        assert "requests" in text
+
+    def test_compare(self):
+        a = summarize([rec("read", 0, 8)])
+        b = summarize([rec("read", 0, 128)])
+        text = compare_streams({"small": a, "large": b})
+        assert "small" in text and "large" in text
+
+
+class TestWorkloadStreams:
+    def test_cffs_stream_is_larger_and_fewer(self):
+        """The mechanism, visible in the request stream: C-FFS issues
+        fewer, larger requests for the same reads."""
+        def capture(fs):
+            fs.mkdir("/d")
+            for i in range(30):
+                fs.write_file("/d/f%02d" % i, b"s" * 1024)
+            fs.sync()
+            fs.drop_caches()
+            fs.device.disk.start_request_log()
+            for i in range(30):
+                fs.read_file("/d/f%02d" % i)
+            return summarize(fs.device.disk.stop_request_log())
+
+        cffs = capture(make_cffs())
+        conv = capture(make_cffs(embedded=False, grouping=False))
+        assert cffs.requests < conv.requests / 2
+        assert cffs.mean_size_kb > 2 * conv.mean_size_kb

@@ -1,0 +1,208 @@
+"""Tests for workload generators: small-file benchmark, size
+distribution, aging, and the application suite."""
+
+import random
+
+import pytest
+
+from repro.cache.policy import MetadataPolicy
+from repro.fsck import fsck_cffs
+from repro.workloads import (
+    age_filesystem,
+    build_source_tree,
+    fraction_under,
+    run_app_suite,
+    run_size_sweep,
+    run_smallfile,
+    sample_file_size,
+)
+from tests.conftest import make_cffs, make_ffs
+
+
+class TestSmallFile:
+    def test_phases_present(self):
+        fs = make_cffs()
+        result = run_smallfile(fs, n_files=60, file_size=1024)
+        assert set(result.phases) == {"create", "read", "overwrite", "delete"}
+
+    def test_all_phases_take_time(self):
+        fs = make_cffs()
+        result = run_smallfile(fs, n_files=60, file_size=1024)
+        for phase in result.phases.values():
+            assert phase.seconds > 0
+            assert phase.files_per_second > 0
+
+    def test_files_gone_after_delete(self):
+        fs = make_cffs()
+        run_smallfile(fs, n_files=40, file_size=1024)
+        assert fs.readdir("/bench") == []
+
+    def test_request_accounting(self):
+        fs = make_cffs()
+        result = run_smallfile(fs, n_files=40, file_size=1024)
+        read = result["read"]
+        assert read.disk_requests == read.disk_reads + read.disk_writes
+        assert read.disk_reads > 0
+
+    def test_multiple_directories(self):
+        fs = make_cffs()
+        result = run_smallfile(fs, n_files=60, file_size=1024, n_dirs=4)
+        assert result["create"].n_files == 60
+        assert fs.readdir("/bench") != []  # the subdirectories remain
+
+    def test_image_clean_afterwards(self):
+        fs = make_cffs()
+        run_smallfile(fs, n_files=40, file_size=1024)
+        assert fsck_cffs(fs.device).ok
+
+    def test_payload_validation(self):
+        fs = make_cffs()
+        with pytest.raises(ValueError):
+            run_smallfile(fs, n_files=4, file_size=10, payload=b"wrong length")
+
+    def test_subset_of_phases(self):
+        fs = make_cffs()
+        result = run_smallfile(fs, n_files=30, file_size=1024,
+                               phases=("create", "read"))
+        assert set(result.phases) == {"create", "read"}
+
+
+class TestSizeDistribution:
+    def test_survey_calibration(self):
+        """The paper: '79% of all files ... are less than 8 KB'."""
+        assert fraction_under(8192) == pytest.approx(0.79, abs=0.02)
+
+    def test_most_files_small(self):
+        assert fraction_under(65536) > 0.95
+
+    def test_tail_exists(self):
+        rng = random.Random(1)
+        sizes = [sample_file_size(rng) for _ in range(5000)]
+        assert max(sizes) > 256 * 1024
+
+    def test_deterministic_for_seed(self):
+        a = [sample_file_size(random.Random(5)) for _ in range(10)]
+        b = [sample_file_size(random.Random(5)) for _ in range(10)]
+        assert a == b
+
+    def test_sizes_positive(self):
+        rng = random.Random(2)
+        assert all(sample_file_size(rng) > 0 for _ in range(1000))
+
+
+class TestSizeSweep:
+    def test_sweep_points(self):
+        fs = make_cffs()
+        points = run_size_sweep(fs, [1024, 8192], total_bytes=64 * 1024)
+        assert len(points) == 2
+        assert points[0].file_size == 1024
+        assert points[0].n_files > points[1].n_files
+
+    def test_throughput_grows_with_file_size(self):
+        fs = make_cffs(embedded=False, grouping=False)
+        points = run_size_sweep(fs, [1024, 32768], total_bytes=128 * 1024)
+        assert points[1].read_mb_per_s > points[0].read_mb_per_s
+
+
+class TestAging:
+    def test_reaches_target_utilization(self):
+        fs = make_cffs()
+        result = age_filesystem(fs, target_utilization=0.5, operations=1200,
+                                n_dirs=2, max_file_bytes=64 * 1024)
+        assert result.utilization == pytest.approx(0.5, abs=0.12)
+        assert result.creations > result.deletions
+
+    def test_low_utilization(self):
+        fs = make_cffs()
+        result = age_filesystem(fs, target_utilization=0.15, operations=800,
+                                n_dirs=2, max_file_bytes=64 * 1024)
+        assert result.utilization < 0.3
+
+    def test_operations_counted(self):
+        fs = make_cffs()
+        result = age_filesystem(fs, target_utilization=0.3, operations=500,
+                                n_dirs=2, max_file_bytes=32 * 1024)
+        assert result.creations + result.deletions == 500
+
+    def test_deterministic(self):
+        r1 = age_filesystem(make_cffs(), 0.3, operations=300, n_dirs=2,
+                            max_file_bytes=32 * 1024, seed=9)
+        r2 = age_filesystem(make_cffs(), 0.3, operations=300, n_dirs=2,
+                            max_file_bytes=32 * 1024, seed=9)
+        assert r1 == r2
+
+    def test_aged_image_clean(self):
+        fs = make_cffs()
+        age_filesystem(fs, target_utilization=0.4, operations=600, n_dirs=2,
+                       max_file_bytes=64 * 1024)
+        report = fsck_cffs(fs.device)
+        assert report.ok, report.render()
+
+    def test_rejects_extreme_targets(self):
+        with pytest.raises(ValueError):
+            age_filesystem(make_cffs(), 0.99)
+
+    def test_aging_fragments_groups(self):
+        """After churn, explicit groups carry holes: live spans exceed
+        their live block counts somewhere."""
+        fs = make_cffs()
+        age_filesystem(fs, target_utilization=0.5, operations=1500, n_dirs=2,
+                       max_file_bytes=32 * 1024, seed=3)
+        from repro.core.layout import EXT_GROUPED
+
+        fragmented = 0
+        for cgi in range(fs.groups.n_cgs):
+            for idx in range(fs.groups.extents_per_cg):
+                desc = fs.groups.read_desc((cgi, idx))
+                if desc["state"] == EXT_GROUPED:
+                    mask = desc["valid_mask"]
+                    bits = [s for s in range(fs.config.group_span)
+                            if mask & (1 << s)]
+                    if bits and len(bits) < bits[-1] - bits[0] + 1:
+                        fragmented += 1
+        assert fragmented > 0
+
+
+class TestAppSuite:
+    def test_tree_built(self):
+        fs = make_cffs()
+        tree = build_source_tree(fs, n_dirs=2, files_per_dir=6, n_headers=3,
+                                 max_file_bytes=16 * 1024)
+        assert fs.exists(tree.root)
+        assert len(tree.files) == 2 * 6 + 3
+        for path, size in tree.files:
+            assert fs.stat(path).size == size
+
+    def test_suite_runs_all_passes(self):
+        fs = make_cffs()
+        tree = build_source_tree(fs, n_dirs=2, files_per_dir=5, n_headers=3,
+                                 max_file_bytes=16 * 1024)
+        result = run_app_suite(fs, tree)
+        assert set(result.seconds) == {"copy", "scan", "compile", "clean"}
+        assert all(v > 0 for v in result.seconds.values())
+
+    def test_copy_creates_parallel_tree(self):
+        fs = make_cffs()
+        tree = build_source_tree(fs, n_dirs=2, files_per_dir=4, n_headers=2,
+                                 max_file_bytes=8 * 1024)
+        run_app_suite(fs, tree)
+        src = fs.read_file(tree.files[-1][0])
+        dst = fs.read_file(tree.root + "-copy" + tree.files[-1][0][len(tree.root):])
+        assert src == dst
+
+    def test_clean_removes_objects(self):
+        fs = make_cffs()
+        tree = build_source_tree(fs, n_dirs=1, files_per_dir=4, n_headers=2,
+                                 max_file_bytes=8 * 1024)
+        run_app_suite(fs, tree)
+        for path, _ in tree.files:
+            if path.endswith(".c"):
+                assert not fs.exists(path[:-2] + ".o")
+
+    def test_image_clean_afterwards(self):
+        fs = make_cffs()
+        tree = build_source_tree(fs, n_dirs=2, files_per_dir=4, n_headers=2,
+                                 max_file_bytes=8 * 1024)
+        run_app_suite(fs, tree)
+        report = fsck_cffs(fs.device)
+        assert report.ok, report.render()
