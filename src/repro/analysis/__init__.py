@@ -2,7 +2,14 @@
 stream analysis."""
 
 from repro.analysis.report import Table, bar_chart, format_series
-from repro.analysis.metrics import speedup, percent_improvement
+from repro.analysis.metrics import (
+    LatencySummary,
+    jain_fairness,
+    percent_improvement,
+    percentile,
+    speedup,
+    summarize_latencies,
+)
 from repro.analysis.requestlog import (
     LogSummary,
     compare_streams,
@@ -16,6 +23,10 @@ __all__ = [
     "format_series",
     "speedup",
     "percent_improvement",
+    "percentile",
+    "LatencySummary",
+    "summarize_latencies",
+    "jain_fairness",
     "LogSummary",
     "summarize",
     "render_summary",

@@ -16,6 +16,7 @@ from repro.bench.experiments import (
     fig6_smallfile_softdep,
     fig7_size_sweep,
     fig8_aging,
+    multiclient_scaling_experiment,
     table1_drives,
     table2_platform,
     table3_requests,
@@ -37,4 +38,5 @@ __all__ = [
     "ablation_embed_dirsize",
     "ablation_cache_size",
     "breakdown_read_time",
+    "multiclient_scaling_experiment",
 ]

@@ -535,3 +535,27 @@ def ablation_cache_size(
     return ExperimentOutput(
         "ablation_cache", text, {"cache_blocks": list(cache_blocks), "read": reads},
     )
+
+
+def multiclient_scaling_experiment(
+    client_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    files_per_client: int = 40,
+    file_size: int = 1024,
+    labels: Sequence[str] = ("ffs", "cffs"),
+    scheduler: str = "clook",
+) -> ExperimentOutput:
+    """Latency under load: sweep client count over FFS vs. C-FFS.
+
+    Runs the multi-client engine (queued disk scheduling, per-client
+    contexts) and reports aggregate files/s, read p99, mean queue depth
+    and fairness at every client count.
+    """
+    from repro.engine import multiclient_scaling, render_scaling
+
+    points = multiclient_scaling(
+        client_counts=client_counts, labels=labels,
+        files_per_client=files_per_client, file_size=file_size,
+        scheduler=scheduler)
+    return ExperimentOutput(
+        "multiclient_scaling", render_scaling(points), {"points": points},
+    )

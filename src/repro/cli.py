@@ -13,6 +13,7 @@
     python -m repro fsck site.img
     python -m repro info site.img
     python -m repro bench --files 2000               # small-file benchmark
+    python -m repro multiclient --clients 8 --fs cffs  # concurrency engine
 
 Images are sparse compressed snapshots of the simulated disk; the drive
 profile (and therefore the timing model) travels inside the image.
@@ -197,6 +198,29 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_multiclient(args) -> int:
+    from repro.engine import SCHEDULERS, render_multiclient, run_multiclient
+
+    policy = (MetadataPolicy.DELAYED_METADATA if args.softdep
+              else MetadataPolicy.SYNC_METADATA)
+    if args.scheduler not in SCHEDULERS:
+        print("unknown scheduler %r; known: %s"
+              % (args.scheduler, ", ".join(SCHEDULERS)), file=sys.stderr)
+        return 2
+    result = run_multiclient(
+        label=args.fs,
+        n_clients=args.clients,
+        files_per_client=args.files,
+        file_size=args.size,
+        phases=tuple(p.strip() for p in args.phases.split(",")),
+        scheduler=args.scheduler,
+        policy=policy,
+        workload=args.workload,
+    )
+    print(render_multiclient(result))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -258,6 +282,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fsck", help="check an image offline")
     p.add_argument("image")
     p.set_defaults(func=cmd_fsck)
+
+    p = sub.add_parser("multiclient",
+                       help="run N concurrent clients through the engine")
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--files", type=int, default=40,
+                   help="files (or pool size / documents) per client")
+    p.add_argument("--size", type=int, default=1024)
+    p.add_argument("--fs", default="cffs",
+                   help="ffs, conventional, embedded, grouping or cffs")
+    p.add_argument("--scheduler", default="clook",
+                   help="queue discipline: fcfs, sstf or clook")
+    p.add_argument("--workload", choices=("smallfile", "postmark", "hypertext"),
+                   default="smallfile")
+    p.add_argument("--phases", default="create,read",
+                   help="smallfile phases to run (comma-separated)")
+    p.add_argument("--softdep", action="store_true")
+    p.set_defaults(func=cmd_multiclient)
 
     p = sub.add_parser("bench", help="run the small-file benchmark")
     p.add_argument("--files", type=int, default=2000)

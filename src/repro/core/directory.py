@@ -23,10 +23,10 @@ from repro.errors import CorruptFileSystem, InvalidArgument, NameTooLong
 from repro.core.layout import (
     DENT_HEADER_FMT,
     DENT_HEADER_SIZE,
-    DK_DIR,
-    DK_FILE,
-    ET_EMBEDDED,
-    ET_EXTERNAL,
+    DK_DIR as DK_DIR,          # re-exported: callers address these through
+    DK_FILE as DK_FILE,        # this module as the directory-format namespace
+    ET_EMBEDDED as ET_EMBEDDED,
+    ET_EXTERNAL as ET_EXTERNAL,
     ET_FREE,
     SECTOR_SIZE,
     SECTORS_PER_DIR_BLOCK,

@@ -32,7 +32,7 @@ from repro.cache.policy import MetadataPolicy
 from repro.clock import CpuModel
 from repro.core import directory as dirfmt
 from repro.core import layout
-from repro.core.extinodes import EXT_TABLE_FILEID, ExtInodeTable
+from repro.core.extinodes import ExtInodeTable
 from repro.core.groups import GroupTable
 from repro.core.inode import CNode, LOC_DIR, LOC_EXT, LOC_SUPER
 from repro.errors import (
@@ -42,7 +42,6 @@ from repro.errors import (
     FileNotFound,
     InvalidArgument,
     IsADirectory,
-    NoSpace,
     NotADirectory,
 )
 from repro.ffs import mapping

@@ -31,7 +31,7 @@ results; see DESIGN.md §2 and EXPERIMENTS.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Tuple
 
 from repro.disk.geometry import DiskGeometry, Zone

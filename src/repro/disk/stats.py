@@ -9,7 +9,7 @@ directly against these counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,334 @@
+"""Client contexts: simulated processes interleaved at I/O granularity.
+
+The file systems in this repository are synchronous Python code — an
+operation like ``write_file`` charges CPU and issues disk requests deep
+inside its call stack, against the shared clock.  To interleave many
+clients without rewriting that stack as coroutines, the engine runs
+each client operation in two steps:
+
+1. **Capture** — the operation executes immediately (its data effects
+   apply atomically at operation start) against a recording block
+   device: every disk request is logged together with the simulated CPU
+   time accumulated since the previous one, and nothing touches the
+   real drive.  Data reads and writes go straight to the block device's
+   backing store, untimed, so results are exact.
+
+2. **Replay** — the client's generator yields the captured timeline one
+   step at a time: a CPU burst becomes a timer event, a disk request is
+   submitted to the shared :class:`~repro.engine.diskqueue.DiskQueue`
+   and the client sleeps until its completion event.  Request *i+1* is
+   only submitted once request *i* completes (the synchronous stack
+   would have blocked exactly there), so clients interleave at request
+   granularity and contend for the one arm like real processes.
+
+With a single client the replayed timeline is identical to the
+synchronous execution — the engine is a strict generalization of the
+lock-step path (``tests/test_engine.py`` pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.blockdev.device import BLOCK_SIZE, SECTORS_PER_BLOCK, BlockDevice
+from repro.blockdev.scheduler import clook_order, coalesce_blocks
+from repro.clock import SimClock
+from repro.engine.diskqueue import DiskQueue, QueuedRequest
+from repro.engine.eventloop import EventLoop
+from repro.errors import InvalidArgument
+from repro.vfs.interface import FileSystem
+
+#: One scripted client operation: a display label plus a callable that
+#: receives the shared file system.
+Op = Tuple[str, Callable[[FileSystem], object]]
+
+
+@dataclass
+class CapturedRequest:
+    """One disk request recorded during capture."""
+
+    op: str            # "read" | "write" | "flush"
+    lba: int
+    nsectors: int
+    cpu_before: float  # CPU seconds since the previous request
+
+
+@dataclass
+class CapturedOp:
+    """The timed skeleton of one file-system operation."""
+
+    requests: List[CapturedRequest] = field(default_factory=list)
+    trailing_cpu: float = 0.0
+
+    @property
+    def cpu_total(self) -> float:
+        return sum(r.cpu_before for r in self.requests) + self.trailing_cpu
+
+
+class _CaptureDevice:
+    """Block-device stand-in that records requests instead of timing them.
+
+    Data flows to and from the real device's backing store via the
+    untimed ``peek``/``poke`` paths, so every byte is exact; only the
+    *when* is deferred to replay.  Batched operations replicate
+    :class:`BlockDevice`'s C-LOOK ordering and run coalescing so the
+    captured request stream is the one the synchronous path would issue.
+    """
+
+    def __init__(self, real: BlockDevice, scratch_clock: SimClock) -> None:
+        self._real = real
+        self.clock = scratch_clock
+        self.total_blocks = real.total_blocks
+        self.captured = CapturedOp()
+        self._mark = scratch_clock.now
+
+    # -- recording ----------------------------------------------------------
+
+    def _record(self, op: str, lba: int, nsectors: int) -> None:
+        gap = self.clock.now - self._mark
+        self._mark = self.clock.now
+        self.captured.requests.append(CapturedRequest(op, lba, nsectors, gap))
+
+    def finish(self) -> CapturedOp:
+        self.captured.trailing_cpu = self.clock.now - self._mark
+        return self.captured
+
+    # -- BlockDevice surface -------------------------------------------------
+
+    def read_block(self, bno: int) -> bytes:
+        data = self._real.peek_block(bno)
+        self._record("read", bno * SECTORS_PER_BLOCK, SECTORS_PER_BLOCK)
+        return data
+
+    def write_block(self, bno: int, data: bytes) -> None:
+        self._real.poke_block(bno, data)
+        self._record("write", bno * SECTORS_PER_BLOCK, SECTORS_PER_BLOCK)
+
+    def read_extent(self, start: int, count: int) -> List[bytes]:
+        out = [self._real.peek_block(b) for b in range(start, start + count)]
+        self._record("read", start * SECTORS_PER_BLOCK, count * SECTORS_PER_BLOCK)
+        return out
+
+    def write_extent(self, start: int, blocks: Sequence[bytes]) -> None:
+        for i, data in enumerate(blocks):
+            self._real.poke_block(start + i, data)
+        self._record("write", start * SECTORS_PER_BLOCK,
+                     len(blocks) * SECTORS_PER_BLOCK)
+
+    def write_batch(self, writes: Dict[int, bytes]) -> int:
+        if not writes:
+            return 0
+        head = self._real.disk.current_lba_estimate() // SECTORS_PER_BLOCK
+        ordered = clook_order(writes.keys(), head)
+        nrequests = 0
+        for start, count in coalesce_blocks(ordered):
+            self.write_extent(start, [writes[b] for b in range(start, start + count)])
+            nrequests += 1
+        return nrequests
+
+    def read_batch(self, block_numbers: Iterable[int]) -> Dict[int, bytes]:
+        blocks = list(block_numbers)
+        if not blocks:
+            return {}
+        head = self._real.disk.current_lba_estimate() // SECTORS_PER_BLOCK
+        ordered = clook_order(blocks, head)
+        out: Dict[int, bytes] = {}
+        for start, count in coalesce_blocks(ordered):
+            data = self.read_extent(start, count)
+            for i in range(count):
+                out[start + i] = data[i]
+        return out
+
+    def flush(self) -> None:
+        self._record("flush", 0, 0)
+
+    def peek_block(self, bno: int) -> bytes:
+        return self._real.peek_block(bno)
+
+    def poke_block(self, bno: int, data: bytes) -> None:
+        self._real.poke_block(bno, data)
+
+
+@dataclass
+class OpRecord:
+    """One completed client operation, as replayed under load."""
+
+    phase: str
+    label: str
+    client: int
+    start: float
+    end: float
+    n_requests: int
+    queue_delay: float
+    cpu_seconds: float
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.start
+
+
+class ClientContext:
+    """One simulated process: a scripted stream of file operations."""
+
+    def __init__(self, engine: "Engine", cid: int, name: str) -> None:
+        self.engine = engine
+        self.cid = cid
+        self.name = name
+        self.records: List[OpRecord] = []
+        self.cpu_seconds = 0.0
+        self.queue_delay = 0.0
+        self.reads = 0
+        self.writes = 0
+        self.finished_at: Optional[float] = None
+
+    def latencies(self, phase: Optional[str] = None) -> List[float]:
+        """Per-operation latencies, optionally restricted to one phase."""
+        return [r.latency for r in self.records
+                if phase is None or r.phase == phase]
+
+    def _run_ops(self, ops: Sequence[Op], phase: str):
+        """Generator yielding ("cpu", seconds) / ("io", CapturedRequest)."""
+        loop = self.engine.loop
+        for label, fn in ops:
+            start = loop.now
+            cap = self.engine.capture(fn)
+            nreq = 0
+            qdelay = 0.0
+            for step in cap.requests:
+                if step.cpu_before > 0:
+                    self.cpu_seconds += step.cpu_before
+                    yield ("cpu", step.cpu_before)
+                done: QueuedRequest = yield ("io", step)
+                nreq += 1
+                qdelay += done.queue_delay
+                if step.op == "read":
+                    self.reads += 1
+                elif step.op == "write":
+                    self.writes += 1
+            if cap.trailing_cpu > 0:
+                self.cpu_seconds += cap.trailing_cpu
+                yield ("cpu", cap.trailing_cpu)
+            self.queue_delay += qdelay
+            self.records.append(OpRecord(
+                phase=phase, label=label, client=self.cid,
+                start=start, end=loop.now,
+                n_requests=nreq, queue_delay=qdelay,
+                cpu_seconds=cap.cpu_total,
+            ))
+
+
+class Engine:
+    """Couples one file system, one event loop and one disk queue.
+
+    Usage::
+
+        engine = Engine(fs, scheduler="clook")
+        a = engine.add_client("alice")
+        b = engine.add_client("bob")
+        engine.run_sync(setup_fn)                       # lock-step section
+        engine.run_phase({a: ops_a, b: ops_b}, "create")  # concurrent section
+    """
+
+    def __init__(self, fs: FileSystem, scheduler: str = "clook",
+                 loop: Optional[EventLoop] = None) -> None:
+        self.fs = fs
+        self.device = fs.cache.device
+        if not isinstance(self.device, BlockDevice):
+            raise InvalidArgument("engine needs a file system over a BlockDevice")
+        self.loop = loop if loop is not None else EventLoop()
+        # The device clock (mkfs may have advanced it) and the loop
+        # clock meet at the later of the two.
+        self.loop.clock.advance_to(self.device.clock.now)
+        self.device.clock.advance_to(self.loop.now)
+        self.queue = DiskQueue(self.loop, self.device.disk, scheduler)
+        self.clients: List[ClientContext] = []
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def add_client(self, name: Optional[str] = None) -> ClientContext:
+        cid = len(self.clients)
+        client = ClientContext(self, cid, name if name is not None else "c%02d" % cid)
+        self.clients.append(client)
+        return client
+
+    # -- lock-step sections ---------------------------------------------------
+
+    def run_sync(self, fn: Callable[[FileSystem], object]) -> object:
+        """Run ``fn(fs)`` synchronously (no concurrency), on engine time.
+
+        Used for setup and for global barriers between phases; with no
+        clients active this is exactly the classic lock-step path.
+        """
+        if self.loop.pending:
+            raise InvalidArgument("cannot run a sync section with events pending")
+        self.device.clock.advance_to(self.loop.now)
+        result = fn(self.fs)
+        self.loop.clock.advance_to(self.device.clock.now)
+        return result
+
+    # -- concurrent sections -----------------------------------------------------
+
+    def run_phase(self, assignments: Dict[ClientContext, Sequence[Op]],
+                  phase: str = "phase") -> float:
+        """Run every client's op list concurrently; returns elapsed time.
+
+        All clients start at the current time; the phase ends when the
+        last operation (and its disk requests) completes.
+        """
+        if self.loop.pending:
+            raise InvalidArgument("phase already running")
+        start = self.loop.now
+        for client, ops in assignments.items():
+            gen = client._run_ops(list(ops), phase)
+            self.loop.call_at(start, self._step, client, gen, None)
+        self.loop.run()
+        self.device.clock.advance_to(self.loop.now)
+        return self.loop.now - start
+
+    def capture(self, fn: Callable[[FileSystem], object]) -> CapturedOp:
+        """Run ``fn(fs)`` against the recording device; returns its timeline."""
+        scratch = SimClock(self.loop.now)
+        proxy = _CaptureDevice(self.device, scratch)
+        fs = self.fs
+        saved_cpu_clock = fs.cpu.clock
+        fs.cache.device = proxy  # type: ignore[assignment]
+        fs.cpu.clock = scratch
+        try:
+            fn(fs)
+        finally:
+            fs.cache.device = self.device
+            fs.cpu.clock = saved_cpu_clock
+        return proxy.finish()
+
+    # -- generator driving ---------------------------------------------------------
+
+    def _step(self, client: ClientContext, gen, payload) -> None:
+        try:
+            kind, arg = gen.send(payload)
+        except StopIteration:
+            client.finished_at = self.loop.now
+            return
+        if kind == "cpu":
+            self.loop.call_later(arg, self._step, client, gen, None)
+        elif arg.op == "flush":
+            self.queue.flush_barrier(
+                client.cid, lambda req: self._step(client, gen, req))
+        else:
+            self.queue.submit(
+                arg.op, arg.lba, arg.nsectors, client.cid,
+                lambda req: self._step(client, gen, req))
+
+
+# BLOCK_SIZE is re-exported for callers sizing per-client workloads.
+__all__ = [
+    "BLOCK_SIZE",
+    "CapturedOp",
+    "CapturedRequest",
+    "ClientContext",
+    "Engine",
+    "Op",
+    "OpRecord",
+]

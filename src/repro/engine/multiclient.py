@@ -1,0 +1,355 @@
+"""Multi-client experiments: throughput *and latency* under load.
+
+The single-client experiments answer the paper's 1997 question — how
+fast can one synchronous stream go.  This driver answers the scaling
+question: N clients share one file system and one disk arm, their
+requests contend in the host queue, and the interesting outputs are
+aggregate files/s, per-client latency percentiles, queueing delay,
+queue depth and fairness.
+
+``run_multiclient`` runs one configuration; ``multiclient_scaling``
+sweeps client count over two configurations (FFS-style baseline vs.
+C-FFS) and renders the comparison.  ``conventional`` — the C-FFS code
+with both techniques disabled, exactly the paper's baseline — doubles
+as the ``ffs`` label.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import (
+    LatencySummary,
+    jain_fairness,
+    summarize_latencies,
+)
+from repro.analysis.report import Table
+from repro.cache.policy import MetadataPolicy
+from repro.disk.profiles import DriveProfile
+from repro.engine.client import ClientContext, Engine
+from repro.errors import InvalidArgument
+from repro.workloads.configs import CONFIG_GRID, build_filesystem
+from repro.workloads.hypertext import Document
+from repro.workloads.opscript import (
+    hypertext_serve_ops,
+    postmark_ops,
+    smallfile_ops,
+    smallfile_paths,
+)
+
+WORKLOADS = ("smallfile", "postmark", "hypertext")
+
+#: Client counts the scaling sweep uses by default.
+DEFAULT_CLIENT_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def resolve_label(label: str) -> str:
+    """Map a user-facing file-system label to a configuration label."""
+    if label == "ffs":
+        return "conventional"
+    if label not in CONFIG_GRID:
+        raise InvalidArgument(
+            "unknown file system %r; known: ffs, %s"
+            % (label, ", ".join(CONFIG_GRID)))
+    return label
+
+
+@dataclass
+class ClientSummary:
+    """One client's view of one phase."""
+
+    client: str
+    n_ops: int
+    ops_per_second: float
+    cpu_seconds: float
+    queue_delay: float           # total host-queue wait across requests
+    n_requests: int
+    latency: LatencySummary
+
+
+@dataclass
+class PhaseReport:
+    """Aggregate and per-client measurements for one phase."""
+
+    phase: str
+    seconds: float
+    n_ops: int
+    latency: LatencySummary      # across all clients' operations
+    per_client: List[ClientSummary] = field(default_factory=list)
+    mean_queue_depth: float = 0.0
+    mean_queue_delay: float = 0.0
+    fairness: float = 1.0        # Jain index over per-client rates
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.n_ops / self.seconds if self.seconds > 0 else float("inf")
+
+
+@dataclass
+class MultiClientResult:
+    """One (file system, client count, scheduler) configuration."""
+
+    label: str
+    n_clients: int
+    scheduler: str
+    workload: str
+    phases: Dict[str, PhaseReport] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases.values())
+
+    def __getitem__(self, phase: str) -> PhaseReport:
+        return self.phases[phase]
+
+
+def _build_client_site(fs, client_dir: str, n_documents: int,
+                       seed: int) -> List[Document]:
+    """A per-client hypertext corpus (page + assets per document)."""
+    rng = random.Random(seed)
+    documents: List[Document] = []
+    for n in range(n_documents):
+        name = "doc%04d" % n
+        files: List[Tuple[str, int]] = [
+            ("%s/%s.html" % (client_dir, name), rng.randrange(2048, 8192))]
+        for a in range(rng.randrange(3, 7)):
+            files.append(("%s/%s-a%d.gif" % (client_dir, name, a),
+                          rng.randrange(1024, 12288)))
+        paths: List[str] = []
+        for path, size in files:
+            fs.write_file(path, b"w" * size)
+            paths.append(path)
+        documents.append(Document(
+            name=name, paths=paths, total_bytes=sum(s for _, s in files)))
+    return documents
+
+
+def run_multiclient(
+    label: str = "cffs",
+    n_clients: int = 8,
+    files_per_client: int = 50,
+    file_size: int = 1024,
+    phases: Sequence[str] = ("create", "read"),
+    scheduler: str = "clook",
+    policy: MetadataPolicy = MetadataPolicy.SYNC_METADATA,
+    workload: str = "smallfile",
+    profile: Optional[DriveProfile] = None,
+    seed: int = 1997,
+) -> MultiClientResult:
+    """Run ``n_clients`` concurrent clients over one shared file system.
+
+    Each client works in its own directory.  For ``smallfile``,
+    ``phases`` selects which of the four classic phases run (a global
+    sync ends each phase and caches are dropped between phases, so read
+    phases run cold — the paper's measurement discipline, now under
+    contention).  ``postmark`` runs one mixed-churn phase; ``hypertext``
+    builds a per-client site during setup and serves it cold.
+    """
+    if workload not in WORKLOADS:
+        raise InvalidArgument(
+            "unknown workload %r; known: %s" % (workload, ", ".join(WORKLOADS)))
+    if n_clients < 1:
+        raise InvalidArgument("need at least one client, got %d" % n_clients)
+    if files_per_client < 1:
+        raise InvalidArgument(
+            "need at least one file per client, got %d" % files_per_client)
+    fs = build_filesystem(resolve_label(label), policy, profile)
+    engine = Engine(fs, scheduler=scheduler)
+    clients = [engine.add_client() for _ in range(n_clients)]
+    dirs = {client: "/mc/%s" % client.name for client in clients}
+
+    documents: Dict[ClientContext, List[Document]] = {}
+
+    def setup(f):
+        f.mkdir("/mc")
+        for d in dirs.values():
+            f.mkdir(d)
+        if workload == "hypertext":
+            for i, client in enumerate(clients):
+                documents[client] = _build_client_site(
+                    f, dirs[client], files_per_client, seed + i)
+        f.sync()
+        f.drop_caches()
+
+    engine.run_sync(setup)
+
+    if workload == "smallfile":
+        phase_list = list(phases)
+        paths = {client: smallfile_paths(dirs[client], files_per_client)
+                 for client in clients}
+
+        def ops_for(client, phase):
+            return smallfile_ops(paths[client], file_size, phase)
+    elif workload == "postmark":
+        phase_list = ["churn"]
+        scripts = {client: postmark_ops(
+            dirs[client], n_files=files_per_client,
+            n_transactions=2 * files_per_client, seed=seed + client.cid)
+            for client in clients}
+
+        def ops_for(client, phase):
+            return scripts[client]
+    else:  # hypertext
+        phase_list = ["serve"]
+
+        def ops_for(client, phase):
+            return hypertext_serve_ops(documents[client],
+                                       order_seed=seed + client.cid)
+
+    result = MultiClientResult(label=label, n_clients=n_clients,
+                               scheduler=scheduler, workload=workload)
+    for index, phase in enumerate(phase_list):
+        queue_before = engine.queue.stats.snapshot()
+        start = engine.now
+        engine.run_phase({client: ops_for(client, phase) for client in clients},
+                         phase)
+        engine.run_sync(lambda f: f.sync())
+        seconds = engine.now - start
+        queue_delta = engine.queue.stats.delta(queue_before)
+
+        summaries: List[ClientSummary] = []
+        rates: List[float] = []
+        all_latencies: List[float] = []
+        total_ops = 0
+        for client in clients:
+            records = [r for r in client.records if r.phase == phase]
+            latencies = [r.latency for r in records]
+            all_latencies.extend(latencies)
+            total_ops += len(records)
+            finish = max((r.end for r in records), default=start)
+            span = finish - start
+            rate = len(records) / span if span > 0 else float("inf")
+            rates.append(rate)
+            summaries.append(ClientSummary(
+                client=client.name,
+                n_ops=len(records),
+                ops_per_second=rate,
+                cpu_seconds=sum(r.cpu_seconds for r in records),
+                queue_delay=sum(r.queue_delay for r in records),
+                n_requests=sum(r.n_requests for r in records),
+                latency=summarize_latencies(latencies),
+            ))
+        result.phases[phase] = PhaseReport(
+            phase=phase,
+            seconds=seconds,
+            n_ops=total_ops,
+            latency=summarize_latencies(all_latencies),
+            per_client=summaries,
+            mean_queue_depth=(queue_delta.depth_area / seconds
+                              if seconds > 0 else 0.0),
+            mean_queue_delay=queue_delta.mean_queue_delay,
+            fairness=jain_fairness(rates),
+        )
+        if index + 1 < len(phase_list):
+            engine.run_sync(lambda f: f.drop_caches())
+    return result
+
+
+def render_multiclient(result: MultiClientResult) -> str:
+    """The per-client latency table the CLI prints."""
+    sections: List[str] = [
+        "multi-client %s: %d clients, %s scheduler"
+        % (result.workload, result.n_clients, result.scheduler),
+        "file system: %s   total %.3f simulated seconds"
+        % (result.label, result.total_seconds),
+    ]
+    for phase in result.phases.values():
+        table = Table(
+            "phase %-10s  %8.3f s  %7.1f ops/s  queue depth %.2f  fairness %.3f"
+            % (phase.phase, phase.seconds, phase.ops_per_second,
+               phase.mean_queue_depth, phase.fairness),
+            ["client", "ops", "ops/s", "cpu ms", "qwait ms",
+             "p50 ms", "p95 ms", "p99 ms", "max ms"],
+        )
+        for c in phase.per_client:
+            table.add_row(
+                c.client, c.n_ops, "%.1f" % c.ops_per_second,
+                "%.2f" % (c.cpu_seconds * 1e3),
+                "%.2f" % (c.queue_delay * 1e3),
+                "%.2f" % (c.latency.p50 * 1e3),
+                "%.2f" % (c.latency.p95 * 1e3),
+                "%.2f" % (c.latency.p99 * 1e3),
+                "%.2f" % (c.latency.maximum * 1e3),
+            )
+        agg = phase.latency
+        table.caption = ("aggregate: %s   mean queue delay %.2f ms"
+                         % (agg.render(), phase.mean_queue_delay * 1e3))
+        sections.append(table.render())
+    return "\n\n".join(sections)
+
+
+@dataclass
+class ScalingPoint:
+    """One (label, client count) cell of the scaling sweep."""
+
+    label: str
+    n_clients: int
+    create_files_per_second: float
+    read_files_per_second: float
+    read_p99: float
+    mean_queue_depth: float
+    fairness: float
+    result: MultiClientResult
+
+
+def multiclient_scaling(
+    client_counts: Sequence[int] = (1, 2, 4, 8),
+    labels: Sequence[str] = ("ffs", "cffs"),
+    files_per_client: int = 40,
+    file_size: int = 1024,
+    scheduler: str = "clook",
+    policy: MetadataPolicy = MetadataPolicy.SYNC_METADATA,
+) -> Dict[str, List[ScalingPoint]]:
+    """Sweep client count for each label; returns points per label.
+
+    Every cell is an independent run on a fresh disk: clients × files
+    work grows with the client count, so throughput numbers are
+    sustained rates, not fixed-work division.
+    """
+    points: Dict[str, List[ScalingPoint]] = {label: [] for label in labels}
+    for label in labels:
+        for n in client_counts:
+            result = run_multiclient(
+                label=label, n_clients=n, files_per_client=files_per_client,
+                file_size=file_size, phases=("create", "read"),
+                scheduler=scheduler, policy=policy)
+            read = result["read"]
+            points[label].append(ScalingPoint(
+                label=label,
+                n_clients=n,
+                create_files_per_second=result["create"].ops_per_second,
+                read_files_per_second=read.ops_per_second,
+                read_p99=read.latency.p99,
+                mean_queue_depth=read.mean_queue_depth,
+                fairness=read.fairness,
+                result=result,
+            ))
+    return points
+
+
+def render_scaling(points: Dict[str, List[ScalingPoint]]) -> str:
+    """The scaling comparison table (the benchmark artifact)."""
+    table = Table(
+        "Multi-client scaling: aggregate files/s and read p99 vs. client count",
+        ["clients", "fs", "create files/s", "read files/s",
+         "read p99 ms", "queue depth", "fairness"],
+    )
+    labels = list(points)
+    counts = [p.n_clients for p in points[labels[0]]]
+    for i, n in enumerate(counts):
+        for label in labels:
+            p = points[label][i]
+            table.add_row(
+                n, label,
+                "%.1f" % p.create_files_per_second,
+                "%.1f" % p.read_files_per_second,
+                "%.2f" % (p.read_p99 * 1e3),
+                "%.2f" % p.mean_queue_depth,
+                "%.3f" % p.fairness,
+            )
+    table.caption = (
+        "Each cell: files_per_client x clients on a fresh disk; phases end "
+        "with a global sync and the read phase runs cold.")
+    return table.render()

@@ -11,7 +11,7 @@ persistence* (where the inode lives) — those are the abstract methods.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.blockdev.device import BLOCK_SIZE
 from repro.cache.buffercache import BufferCache

@@ -31,7 +31,6 @@ from repro.errors import (
     FileNotFound,
     InvalidArgument,
     IsADirectory,
-    NoSpace,
     NotADirectory,
 )
 from repro.ffs import directory as dirfmt

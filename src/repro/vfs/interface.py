@@ -9,7 +9,7 @@ per-format work to a small set of internal inode operations.
 from __future__ import annotations
 
 import abc
-from typing import Any, List, Optional
+from typing import Any, List
 
 from repro.clock import CpuModel
 from repro.cache.buffercache import BufferCache

@@ -27,6 +27,12 @@ from repro.workloads.hypertext import (
     build_site,
     serve_documents,
 )
+from repro.workloads.opscript import (
+    hypertext_serve_ops,
+    postmark_ops,
+    smallfile_ops,
+    smallfile_paths,
+)
 from repro.workloads.trace import (
     ReplayResult,
     Trace,
@@ -60,6 +66,10 @@ __all__ = [
     "ServeResult",
     "build_site",
     "serve_documents",
+    "smallfile_paths",
+    "smallfile_ops",
+    "postmark_ops",
+    "hypertext_serve_ops",
     "ReplayResult",
     "Trace",
     "TraceOp",

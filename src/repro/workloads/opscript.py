@@ -1,0 +1,130 @@
+"""Per-client operation scripts for the concurrency engine.
+
+The classic workload drivers (:mod:`repro.workloads.smallfile`,
+:mod:`repro.workloads.postmark`, :mod:`repro.workloads.hypertext`) are
+synchronous loops: they call the file system and read the shared clock
+around each phase.  The engine instead wants each client's work as a
+*script* — an ordered list of ``(label, fn)`` operations — that it can
+interleave with other clients at disk-request granularity.
+
+This module derives such scripts from the same workloads.  Scripts are
+built up-front with seeded RNGs, so a client's operation stream is a
+pure function of its parameters and two runs interleave identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import InvalidArgument
+from repro.vfs.interface import FileSystem
+from repro.workloads.hypertext import Document
+
+#: One scripted operation (mirrors repro.engine.client.Op without the import).
+Op = Tuple[str, object]
+
+
+def smallfile_paths(client_dir: str, n_files: int) -> List[str]:
+    """The file names one client's small-file run touches."""
+    return ["%s/f%06d" % (client_dir, i) for i in range(n_files)]
+
+
+def smallfile_ops(paths: Sequence[str], file_size: int, phase: str,
+                  payload: bytes = None) -> List[Op]:
+    """One small-file phase (create/read/overwrite/delete) as a script."""
+    data = payload if payload is not None else b"s" * file_size
+    if len(data) != file_size:
+        raise InvalidArgument("payload length must equal file_size")
+
+    def write_op(path: str) -> Op:
+        return ("create", lambda fs, p=path: fs.write_file(p, data))
+
+    def read_op(path: str) -> Op:
+        def body(fs: FileSystem, p=path) -> None:
+            got = fs.read_file(p)
+            if len(got) != file_size:
+                raise AssertionError("short read of %s" % p)
+        return ("read", body)
+
+    def overwrite_op(path: str) -> Op:
+        return ("overwrite", lambda fs, p=path: fs.write_file(p, data))
+
+    def delete_op(path: str) -> Op:
+        return ("delete", lambda fs, p=path: fs.unlink(p))
+
+    makers = {
+        "create": write_op,
+        "read": read_op,
+        "overwrite": overwrite_op,
+        "delete": delete_op,
+    }
+    if phase not in makers:
+        raise InvalidArgument("unknown small-file phase %r" % phase)
+    return [makers[phase](p) for p in paths]
+
+
+def postmark_ops(client_dir: str, n_files: int = 50, n_transactions: int = 100,
+                 min_size: int = 512, max_size: int = 8192,
+                 seed: int = 1997) -> List[Op]:
+    """A PostMark-style churn script: create a pool, then mixed traffic.
+
+    The transaction mix (read / append / create / delete) and every
+    file size are drawn at script-build time from ``seed``, so the
+    stream is deterministic regardless of how it interleaves with other
+    clients at run time.
+    """
+    rng = random.Random(seed)
+    ops: List[Op] = []
+    pool: List[str] = []
+    serial = 0
+
+    def create(path: str, size: int) -> Op:
+        return ("create", lambda fs, p=path, n=size: fs.write_file(p, b"p" * n))
+
+    for _ in range(n_files):
+        path = "%s/p%06d" % (client_dir, serial)
+        serial += 1
+        ops.append(create(path, rng.randint(min_size, max_size)))
+        pool.append(path)
+
+    for _ in range(n_transactions):
+        roll = rng.random()
+        if roll < 0.25 and pool:
+            victim = rng.choice(pool)
+            ops.append(("read", lambda fs, p=victim: fs.read_file(p)))
+        elif roll < 0.5 and pool:
+            victim = rng.choice(pool)
+            size = rng.randint(256, 4096)
+
+            def append(fs: FileSystem, p=victim, n=size) -> None:
+                at = fs.stat(p).size
+                fd = fs.open(p)
+                try:
+                    fs.pwrite(fd, at, b"a" * n)
+                finally:
+                    fs.close(fd)
+            ops.append(("append", append))
+        elif roll < 0.75 or not pool:
+            path = "%s/p%06d" % (client_dir, serial)
+            serial += 1
+            ops.append(create(path, rng.randint(min_size, max_size)))
+            pool.append(path)
+        else:
+            victim = pool.pop(rng.randrange(len(pool)))
+            ops.append(("delete", lambda fs, p=victim: fs.unlink(p)))
+    return ops
+
+
+def hypertext_serve_ops(documents: Sequence[Document],
+                        order_seed: int = 5) -> List[Op]:
+    """Serve each document once (page plus assets), in shuffled order."""
+    order = list(documents)
+    random.Random(order_seed).shuffle(order)
+    ops: List[Op] = []
+    for doc in order:
+        def serve(fs: FileSystem, paths=tuple(doc.paths)) -> None:
+            for path in paths:
+                fs.read_file(path)
+        ops.append(("serve", serve))
+    return ops

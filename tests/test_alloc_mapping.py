@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.blockdev.device import BLOCK_SIZE
 from repro.cache.buffercache import BufferCache
 from repro.errors import NoSpace
 from repro.ffs import mapping

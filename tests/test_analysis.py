@@ -98,3 +98,50 @@ class TestDiskStats:
         stats.rotation_time = 2.0
         stats.transfer_time = 3.0
         assert stats.mechanical_time == 6.0
+
+
+class TestLatencyMetrics:
+    def test_percentile_interpolates(self):
+        from repro.analysis import percentile
+
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0.0) == 10.0
+        assert percentile(values, 100.0) == 40.0
+        assert percentile(values, 50.0) == pytest.approx(25.0)
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_percentile_order_independent(self):
+        from repro.analysis import percentile
+
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_percentile_rejects_bad_input(self):
+        from repro.analysis import percentile
+
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_summary_fields(self):
+        from repro.analysis import summarize_latencies
+
+        values = [float(i) for i in range(1, 101)]
+        summary = summarize_latencies(values)
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p50 == pytest.approx(50.5)
+        assert summary.p99 == pytest.approx(99.01)
+        assert summary.maximum == 100.0
+        assert "p99" in summary.render()
+
+    def test_jain_fairness(self):
+        from repro.analysis import jain_fairness
+
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+        assert jain_fairness([0.0, 0.0]) == 1.0
+        with pytest.raises(ValueError):
+            jain_fairness([])
+        with pytest.raises(ValueError):
+            jain_fairness([-1.0, 2.0])

@@ -136,9 +136,8 @@ class TestEviction:
 
     def test_flush_companions_gathers(self):
         cache = make_cache(8)
-        written = []
         for b in range(3):
-            buf = cache.create(100 + b, logical=(9, b))
+            cache.create(100 + b, logical=(9, b))
             cache.mark_dirty(100 + b)
 
         def companions(victim):

@@ -1,12 +1,10 @@
 """C-FFS-specific semantics: embedding, externalization, explicit
 grouping, and large-file migration."""
 
-import pytest
 
 from repro.blockdev.device import BLOCK_SIZE
 from repro.core import layout
 from repro.core.inode import LOC_DIR, LOC_EXT, LOC_SUPER
-from repro.errors import NoSpace
 from tests.conftest import make_cffs
 
 

@@ -12,7 +12,6 @@ embedded inode share one sector, create and delete are atomic — there
 is no window in which the name exists without its inode.
 """
 
-import pytest
 
 from repro.blockdev.device import BlockDevice
 from repro.cache.policy import MetadataPolicy

@@ -61,7 +61,7 @@ class TestReadCache:
 
     def test_frozen_segment_serves_only_filled(self):
         cache = ReadCache(2, 32)
-        seg = cache.install(100, 8, 1.0, 0.001, 10000)
+        cache.install(100, 8, 1.0, 0.001, 10000)
         cache.freeze_all(1.004)  # filled to 112
         assert cache.lookup(100, 8, 2.0) is not None
         assert cache.lookup(100, 12, 2.0) is not None

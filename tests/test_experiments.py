@@ -1,6 +1,5 @@
 """Tests for the experiment drivers (small parameters; shape checks)."""
 
-import pytest
 
 from repro.bench import (
     ablation_cache_size,

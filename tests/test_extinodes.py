@@ -7,7 +7,6 @@ from repro.core.extinodes import SLOTS_PER_BLOCK
 from repro.core.inode import CNode, LOC_EXT
 from repro.core import layout
 from repro.errors import FileNotFound
-from tests.conftest import make_cffs
 
 
 def fresh_node(fs, mode=layout.MODE_FILE) -> CNode:

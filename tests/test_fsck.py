@@ -1,12 +1,9 @@
 """Offline checker tests: clean images stay clean, injected corruption
 is detected."""
 
-import struct
 
-import pytest
 
 from repro.blockdev.device import BLOCK_SIZE
-from repro.core import layout as clayout
 from repro.ffs import layout as flayout
 from repro.fsck import fsck_cffs, fsck_ffs
 from tests.conftest import make_cffs, make_ffs

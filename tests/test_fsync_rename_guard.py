@@ -3,8 +3,7 @@
 import pytest
 
 from repro.errors import InvalidArgument
-from repro.fsck import fsck_cffs
-from tests.conftest import make_cffs, make_ffs
+from tests.conftest import make_cffs
 
 
 class TestRenameCycleGuard:
@@ -41,8 +40,6 @@ class TestFsync:
         anyfs.close(fd)
         assert nreq >= 1
         # The data is now on the device even though no sync() ran.
-        import repro.ffs.mapping as mapping
-
         handle = anyfs._resolve("/f")
         bno = handle.direct[0]
         assert anyfs.device.peek_block(bno)[:7] == b"durable"

@@ -1,8 +1,6 @@
 """Tests for application-hint grouping (the paper's §6 extension)."""
 
-import pytest
 
-from repro.cache.policy import MetadataPolicy
 from repro.fsck import fsck_cffs
 from repro.workloads.hypertext import build_site, serve_documents
 from tests.conftest import make_cffs

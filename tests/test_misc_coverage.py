@@ -2,7 +2,6 @@
 edge cases, drive idle drains, zone-boundary transfers, breakdown
 driver."""
 
-import struct
 
 import pytest
 

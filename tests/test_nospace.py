@@ -3,7 +3,6 @@
 import pytest
 
 from repro.blockdev.device import BLOCK_SIZE, BlockDevice
-from repro.cache.policy import MetadataPolicy
 from repro.core.filesystem import CFFS, CFFSConfig
 from repro.disk.profiles import DriveProfile
 from repro.errors import NoSpace

@@ -1,6 +1,5 @@
 """Tests for the PostMark-style workload."""
 
-import pytest
 
 from repro.fsck import fsck_cffs
 from repro.workloads.postmark import PostmarkConfig, run_postmark

@@ -1,7 +1,6 @@
 """Tests for optional FS-level sequential prefetch (future-work
 feature; the paper's implementation lacked prefetching)."""
 
-import pytest
 
 from repro.blockdev.device import BLOCK_SIZE
 from tests.conftest import make_cffs, make_ffs

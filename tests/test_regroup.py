@@ -75,7 +75,7 @@ class TestRegroup:
         assert report.ok, report.render()
 
     def test_costs_io(self, cffs):
-        live = churn_directory(cffs)
+        churn_directory(cffs)
         cffs.sync()
         start = cffs.device.clock.now
         cffs.regroup_directory("/d")

@@ -1,0 +1,98 @@
+"""Edge cases for the request-ordering helpers in blockdev/scheduler.
+
+The happy paths are covered by test_blockdev.py; these pin the corners
+the disk queue depends on: empty inputs, duplicates, run-cap
+boundaries, and head positions outside the outstanding address range.
+"""
+
+import pytest
+
+from repro.blockdev.scheduler import (
+    clook_next,
+    clook_order,
+    coalesce_blocks,
+    sstf_next,
+)
+
+
+class TestClookOrderEdges:
+    def test_empty_input(self):
+        assert clook_order([], head_position=100) == []
+
+    def test_single_block(self):
+        assert clook_order([7], head_position=0) == [7]
+        assert clook_order([7], head_position=99) == [7]
+
+    def test_duplicates_collapse(self):
+        assert clook_order([4, 4, 2, 4, 2], head_position=3) == [4, 2]
+
+    def test_head_beyond_all_blocks_wraps_ascending(self):
+        # Nothing at or past the head: the sweep is entirely the wrap.
+        assert clook_order([9, 5, 7], head_position=50) == [5, 7, 9]
+
+    def test_head_below_all_blocks_no_wrap(self):
+        assert clook_order([9, 5, 7], head_position=0) == [5, 7, 9]
+
+    def test_head_exactly_on_a_block(self):
+        # "At or beyond" includes the head position itself.
+        assert clook_order([5, 3, 8], head_position=5) == [5, 8, 3]
+
+
+class TestCoalesceEdges:
+    def test_empty_input(self):
+        assert coalesce_blocks([]) == []
+
+    def test_single_block(self):
+        assert coalesce_blocks([3]) == [(3, 1)]
+
+    def test_cap_boundary_exact(self):
+        # A run of exactly max_blocks stays one extent...
+        assert coalesce_blocks(list(range(8)), max_blocks=8) == [(0, 8)]
+        # ...one more block starts a second extent.
+        assert coalesce_blocks(list(range(9)), max_blocks=8) == [(0, 8), (8, 1)]
+
+    def test_cap_of_one_splits_everything(self):
+        assert coalesce_blocks([1, 2, 3], max_blocks=1) == [(1, 1), (2, 1), (3, 1)]
+
+    def test_duplicate_blocks_do_not_extend_a_run(self):
+        # Callers pass deduplicated lists; a repeat is its own extent,
+        # never silently merged into the running one.
+        assert coalesce_blocks([4, 4]) == [(4, 1), (4, 1)]
+
+    def test_descending_input_preserved_run_by_run(self):
+        assert coalesce_blocks([9, 8, 7]) == [(9, 1), (8, 1), (7, 1)]
+
+
+class TestQueueSelection:
+    def test_sstf_empty_raises(self):
+        with pytest.raises(ValueError):
+            sstf_next([], head_position=0)
+
+    def test_clook_empty_raises(self):
+        with pytest.raises(ValueError):
+            clook_next([], head_position=0)
+
+    def test_sstf_picks_closest_either_side(self):
+        assert sstf_next([100, 40, 55], head_position=50) == 2
+        assert sstf_next([100, 48, 55], head_position=50) == 1
+
+    def test_sstf_tie_goes_to_earliest_submitted(self):
+        # 45 and 55 are equidistant from 50; index 0 wins.
+        assert sstf_next([55, 45], head_position=50) == 0
+        assert sstf_next([45, 55], head_position=50) == 0
+
+    def test_sstf_duplicates_pick_first(self):
+        assert sstf_next([60, 60, 60], head_position=50) == 0
+
+    def test_clook_prefers_lowest_at_or_beyond_head(self):
+        assert clook_next([90, 55, 10], head_position=50) == 1
+
+    def test_clook_head_beyond_all_wraps_to_lowest(self):
+        assert clook_next([90, 55, 10], head_position=95) == 2
+
+    def test_clook_head_exactly_on_address(self):
+        assert clook_next([90, 50, 10], head_position=50) == 1
+
+    def test_clook_duplicate_addresses_pick_first(self):
+        assert clook_next([70, 70], head_position=50) == 0
+        assert clook_next([30, 30], head_position=50) == 0

@@ -3,7 +3,6 @@ buffer, and drive timing under random operation sequences."""
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

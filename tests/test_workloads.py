@@ -5,7 +5,6 @@ import random
 
 import pytest
 
-from repro.cache.policy import MetadataPolicy
 from repro.fsck import fsck_cffs
 from repro.workloads import (
     age_filesystem,
@@ -16,7 +15,7 @@ from repro.workloads import (
     run_smallfile,
     sample_file_size,
 )
-from tests.conftest import make_cffs, make_ffs
+from tests.conftest import make_cffs
 
 
 class TestSmallFile:
