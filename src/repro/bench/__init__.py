@@ -11,6 +11,7 @@ from repro.bench.experiments import (
     ablation_embed_dirsize,
     ablation_group_size,
     breakdown_read_time,
+    faultsim_recovery,
     fig2_access_time,
     fig5_smallfile,
     fig6_smallfile_softdep,
@@ -39,4 +40,5 @@ __all__ = [
     "ablation_cache_size",
     "breakdown_read_time",
     "multiclient_scaling_experiment",
+    "faultsim_recovery",
 ]

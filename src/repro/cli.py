@@ -11,6 +11,8 @@
     python -m repro rm site.img /readme
     python -m repro regroup site.img /dir            # re-co-locate small files
     python -m repro fsck site.img
+    python -m repro fsck site.img --repair            # fix and write back
+    python -m repro faultsim --files 50               # crash-point sweep
     python -m repro info site.img
     python -m repro bench --files 2000               # small-file benchmark
     python -m repro multiclient --clients 8 --fs cffs  # concurrency engine
@@ -168,17 +170,53 @@ def cmd_regroup(args) -> int:
 
 
 def cmd_fsck(args) -> int:
+    repair = getattr(args, "repair", False)
     device = BlockDevice.load_image(args.image)
     magic = _magic_of(device)
     if magic == clayout.CFFS_MAGIC:
-        report = fsck_cffs(device)
+        report = fsck_cffs(device, repair=repair)
     elif magic == flayout.FFS_MAGIC:
-        report = fsck_ffs(device)
+        report = fsck_ffs(device, repair=repair)
+    elif repair:
+        # The magic may itself be the damage; try whichever checker can
+        # recover a superblock from the replica.
+        report = fsck_ffs(device, repair=True)
+        if not report.fixed:
+            report = fsck_cffs(device, repair=True)
+        if not report.fixed:
+            print("unrecognizable file system (magic 0x%x), no usable "
+                  "superblock replica" % magic, file=sys.stderr)
+            return 2
     else:
         print("unrecognizable file system (magic 0x%x)" % magic, file=sys.stderr)
         return 2
+    if repair and report.fixed:
+        device.save_image(args.image)
     print(report.render())
     return 0 if report.ok else 1
+
+
+def cmd_faultsim(args) -> int:
+    from repro.faults.harness import FAULT_FSES, crash_point_sweep, render_sweep
+
+    labels = ([f.strip() for f in args.fs.split(",")]
+              if args.fs != "both" else list(FAULT_FSES))
+    for label in labels:
+        if label not in FAULT_FSES:
+            print("unknown file system %r; known: both, %s"
+                  % (label, ", ".join(FAULT_FSES)), file=sys.stderr)
+            return 2
+    policies = ([MetadataPolicy.SYNC_METADATA, MetadataPolicy.DELAYED_METADATA]
+                if args.policy == "both"
+                else [MetadataPolicy.DELAYED_METADATA if args.policy == "softdep"
+                      else MetadataPolicy.SYNC_METADATA])
+    results = [
+        crash_point_sweep(label, policy=policy, n_files=args.files,
+                          seed=args.seed, stride=args.stride)
+        for label in labels for policy in policies
+    ]
+    print(render_sweep(results))
+    return 0 if all(r.all_recovered for r in results) else 1
 
 
 def cmd_bench(args) -> int:
@@ -281,7 +319,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fsck", help="check an image offline")
     p.add_argument("image")
+    p.add_argument("--repair", action="store_true",
+                   help="fix what the check finds and write the image back")
     p.set_defaults(func=cmd_fsck)
+
+    p = sub.add_parser(
+        "faultsim",
+        help="crash-point sweep: power-cut, repair, remount, verify")
+    p.add_argument("--fs", default="both",
+                   help="both, or comma-separated subset of: ffs, cffs")
+    p.add_argument("--policy", choices=("sync", "softdep", "both"),
+                   default="both")
+    p.add_argument("--files", type=int, default=50,
+                   help="workload size (files created during the run)")
+    p.add_argument("--stride", type=int, default=1,
+                   help="test every Nth crash point (1 = exhaustive)")
+    p.add_argument("--seed", type=int, default=1997)
+    p.set_defaults(func=cmd_faultsim)
 
     p = sub.add_parser("multiclient",
                        help="run N concurrent clients through the engine")

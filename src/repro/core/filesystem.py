@@ -44,6 +44,7 @@ from repro.errors import (
     IsADirectory,
     NotADirectory,
 )
+from repro.ffs import layout as flayout
 from repro.ffs import mapping
 from repro.ffs.alloc import GroupedAllocator
 from repro.ffs.base import BlockFileSystem
@@ -367,6 +368,16 @@ class CFFS(BlockFileSystem):
             self._meta_write(0)
         else:
             self.cache.mark_dirty(0)
+        rb = flayout.replica_block(
+            self.sb["total_blocks"], self.sb["n_cgs"], self.sb["blocks_per_cg"])
+        if rb is not None:
+            # Replica in the post-cg tail: lets fsck recover a smashed
+            # superblock (and with it the embedded root inode).
+            rbuf = self.cache.peek(rb)
+            if rbuf is None:
+                rbuf = self.cache.create(rb)
+            rbuf.data[:] = buf.data
+            self.cache.mark_dirty(rb)
 
     # ------------------------------------------------------------------ application hints
 

@@ -37,6 +37,7 @@ from repro.clock import SimClock
 from repro.engine.diskqueue import DiskQueue, QueuedRequest
 from repro.engine.eventloop import EventLoop
 from repro.errors import InvalidArgument
+from repro.faults.schedule import FaultSchedule, RetryPolicy
 from repro.vfs.interface import FileSystem
 
 #: One scripted client operation: a display label plus a callable that
@@ -162,6 +163,8 @@ class OpRecord:
     n_requests: int
     queue_delay: float
     cpu_seconds: float
+    retries: int = 0             # transient disk faults absorbed
+    error: Optional[str] = None  # first hard fault that aborted the op
 
     @property
     def latency(self) -> float:
@@ -180,6 +183,8 @@ class ClientContext:
         self.queue_delay = 0.0
         self.reads = 0
         self.writes = 0
+        self.retries = 0
+        self.io_errors = 0
         self.finished_at: Optional[float] = None
 
     def latencies(self, phase: Optional[str] = None) -> List[float]:
@@ -195,6 +200,8 @@ class ClientContext:
             cap = self.engine.capture(fn)
             nreq = 0
             qdelay = 0.0
+            op_retries = 0
+            error: Optional[str] = None
             for step in cap.requests:
                 if step.cpu_before > 0:
                     self.cpu_seconds += step.cpu_before
@@ -202,19 +209,31 @@ class ClientContext:
                 done: QueuedRequest = yield ("io", step)
                 nreq += 1
                 qdelay += done.queue_delay
+                op_retries += done.retries
                 if step.op == "read":
                     self.reads += 1
                 elif step.op == "write":
                     self.writes += 1
-            if cap.trailing_cpu > 0:
+                if done.error is not None:
+                    # The synchronous stack would have raised here; the
+                    # op aborts and its remaining requests never issue.
+                    # (Data effects were applied at capture and are not
+                    # unwound — this layer models timing and outcome.)
+                    error = done.error
+                    break
+            if error is None and cap.trailing_cpu > 0:
                 self.cpu_seconds += cap.trailing_cpu
                 yield ("cpu", cap.trailing_cpu)
             self.queue_delay += qdelay
+            self.retries += op_retries
+            if error is not None:
+                self.io_errors += 1
             self.records.append(OpRecord(
                 phase=phase, label=label, client=self.cid,
                 start=start, end=loop.now,
                 n_requests=nreq, queue_delay=qdelay,
                 cpu_seconds=cap.cpu_total,
+                retries=op_retries, error=error,
             ))
 
 
@@ -231,7 +250,9 @@ class Engine:
     """
 
     def __init__(self, fs: FileSystem, scheduler: str = "clook",
-                 loop: Optional[EventLoop] = None) -> None:
+                 loop: Optional[EventLoop] = None,
+                 faults: Optional["FaultSchedule"] = None,
+                 retry: Optional["RetryPolicy"] = None) -> None:
         self.fs = fs
         self.device = fs.cache.device
         if not isinstance(self.device, BlockDevice):
@@ -241,7 +262,8 @@ class Engine:
         # clock meet at the later of the two.
         self.loop.clock.advance_to(self.device.clock.now)
         self.device.clock.advance_to(self.loop.now)
-        self.queue = DiskQueue(self.loop, self.device.disk, scheduler)
+        self.queue = DiskQueue(self.loop, self.device.disk, scheduler,
+                               faults=faults, retry=retry)
         self.clients: List[ClientContext] = []
 
     @property

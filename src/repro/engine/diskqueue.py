@@ -19,17 +19,28 @@ depth alongside latency percentiles.
 Flush barriers (``op == "flush"``) drain the drive's write-behind
 buffer; they are dispatched ahead of positional choices so a client's
 ``sync`` cannot be starved by a stream of better-placed requests.
+
+With a :class:`~repro.faults.schedule.FaultSchedule` attached, each
+dispatch consults it: a transient fault occupies the drive for the
+error-report latency, then the request re-enters the queue after an
+exponential backoff (a fresh dispatch gets a fresh decision); a hard
+fault — or an exhausted retry budget — completes the request with its
+``error`` field set, so clients degrade gracefully instead of
+crashing the loop.  Requeues do not recount as submissions, keeping
+``submitted == completed`` balanced; ``retried``/``failed`` count the
+fault traffic separately.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.blockdev.scheduler import clook_next, sstf_next
 from repro.disk.drive import SimulatedDisk
 from repro.engine.eventloop import EventLoop
 from repro.errors import InvalidArgument
+from repro.faults.schedule import HARD, OK, FaultSchedule, RetryPolicy
 
 SCHEDULERS = ("fcfs", "sstf", "clook")
 
@@ -46,10 +57,13 @@ class QueuedRequest:
     submit_time: float = 0.0
     dispatch_time: float = 0.0
     complete_time: float = 0.0
+    retries: int = 0           # transient faults survived so far
+    error: Optional[str] = None  # set when the request failed for good
 
     @property
     def queue_delay(self) -> float:
-        """Time spent waiting in the host queue before dispatch."""
+        """Time spent waiting in the host queue before the dispatch that
+        finished it (requeued attempts reset the submit mark)."""
         return self.dispatch_time - self.submit_time
 
     @property
@@ -64,6 +78,8 @@ class QueueAccounting:
 
     submitted: int = 0
     completed: int = 0
+    retried: int = 0              # transient faults that led to a requeue
+    failed: int = 0               # requests completed with an error
     total_queue_delay: float = 0.0
     max_depth: int = 0
     depth_area: float = 0.0       # integral of queue depth over time
@@ -92,7 +108,14 @@ class QueueAccounting:
 class DiskQueue:
     """Admits overlapping requests; feeds the drive one at a time."""
 
-    def __init__(self, loop: EventLoop, disk: SimulatedDisk, policy: str = "clook") -> None:
+    def __init__(
+        self,
+        loop: EventLoop,
+        disk: SimulatedDisk,
+        policy: str = "clook",
+        faults: Optional[FaultSchedule] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         if policy not in SCHEDULERS:
             raise InvalidArgument(
                 "unknown queue policy %r; known: %s" % (policy, ", ".join(SCHEDULERS))
@@ -100,11 +123,14 @@ class DiskQueue:
         self.loop = loop
         self.disk = disk
         self.policy = policy
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
         self.stats = QueueAccounting()
         self._pending: List[QueuedRequest] = []
         self._busy = False
         self._first_submit: Optional[float] = None
         self._last_depth_mark = 0.0
+        self._attempts: Dict[str, int] = {"read": 0, "write": 0}
 
     # -- public -------------------------------------------------------------
 
@@ -175,6 +201,31 @@ class DiskQueue:
         req.dispatch_time = self.loop.now
         self.stats.total_queue_delay += req.queue_delay
 
+        if self.faults is not None and req.op in ("read", "write"):
+            index = self._attempts[req.op]
+            self._attempts[req.op] = index + 1
+            decision = self.faults.decide(req.op, index)
+            if decision.kind != OK:
+                # The drive is occupied for the time it takes to report
+                # the error, but no media transfer happens.
+                completion = req.dispatch_time + self.retry.error_latency
+                self._busy = True
+                self.stats.busy_time += self.retry.error_latency
+                if decision.kind == HARD or req.retries + 1 >= self.retry.max_attempts:
+                    req.error = (
+                        "hard %s fault at lba %d" % (req.op, req.lba)
+                        if decision.kind == HARD
+                        else "%s at lba %d failed after %d attempts"
+                        % (req.op, req.lba, req.retries + 1)
+                    )
+                    self.stats.failed += 1
+                    self.loop.call_at(completion, self._complete, req)
+                else:
+                    req.retries += 1
+                    self.stats.retried += 1
+                    self.loop.call_at(completion, self._release_and_requeue, req)
+                return
+
         # Service against the drive's private clock.  Dispatch times are
         # non-decreasing (the loop processes events in time order), so
         # the drive clock moves monotonically.
@@ -193,6 +244,21 @@ class DiskQueue:
         self._busy = True
         self.stats.busy_time += completion - req.dispatch_time
         self.loop.call_at(completion, self._complete, req)
+
+    def _release_and_requeue(self, req: QueuedRequest) -> None:
+        """Free the drive after a transient fault; resubmit after backoff."""
+        self._busy = False
+        self.loop.call_later(self.retry.delay(req.retries - 1), self._resubmit, req)
+        self._try_dispatch()
+
+    def _resubmit(self, req: QueuedRequest) -> None:
+        # Not a new submission for accounting purposes, but the queue
+        # delay of this attempt starts fresh.
+        req.submit_time = self.loop.now
+        self._integrate_depth()
+        self._pending.append(req)
+        self.stats.max_depth = max(self.stats.max_depth, len(self._pending))
+        self._try_dispatch()
 
     def _complete(self, req: QueuedRequest) -> None:
         req.complete_time = self.loop.now

@@ -30,6 +30,7 @@ from repro.cache.policy import MetadataPolicy
 from repro.disk.profiles import DriveProfile
 from repro.engine.client import ClientContext, Engine
 from repro.errors import InvalidArgument
+from repro.faults.schedule import FaultSchedule, RetryPolicy
 from repro.workloads.configs import CONFIG_GRID, build_filesystem
 from repro.workloads.hypertext import Document
 from repro.workloads.opscript import (
@@ -67,6 +68,8 @@ class ClientSummary:
     queue_delay: float           # total host-queue wait across requests
     n_requests: int
     latency: LatencySummary
+    retries: int = 0             # transient disk faults this client rode out
+    io_errors: int = 0           # operations aborted by a hard fault
 
 
 @dataclass
@@ -81,6 +84,8 @@ class PhaseReport:
     mean_queue_depth: float = 0.0
     mean_queue_delay: float = 0.0
     fairness: float = 1.0        # Jain index over per-client rates
+    retried: int = 0             # queue-level transient-fault requeues
+    failed: int = 0              # requests that completed with an error
 
     @property
     def ops_per_second(self) -> float:
@@ -137,6 +142,8 @@ def run_multiclient(
     workload: str = "smallfile",
     profile: Optional[DriveProfile] = None,
     seed: int = 1997,
+    faults: Optional[FaultSchedule] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> MultiClientResult:
     """Run ``n_clients`` concurrent clients over one shared file system.
 
@@ -156,7 +163,7 @@ def run_multiclient(
         raise InvalidArgument(
             "need at least one file per client, got %d" % files_per_client)
     fs = build_filesystem(resolve_label(label), policy, profile)
-    engine = Engine(fs, scheduler=scheduler)
+    engine = Engine(fs, scheduler=scheduler, faults=faults, retry=retry)
     clients = [engine.add_client() for _ in range(n_clients)]
     dirs = {client: "/mc/%s" % client.name for client in clients}
 
@@ -230,6 +237,8 @@ def run_multiclient(
                 queue_delay=sum(r.queue_delay for r in records),
                 n_requests=sum(r.n_requests for r in records),
                 latency=summarize_latencies(latencies),
+                retries=sum(r.retries for r in records),
+                io_errors=sum(1 for r in records if r.error is not None),
             ))
         result.phases[phase] = PhaseReport(
             phase=phase,
@@ -241,6 +250,8 @@ def run_multiclient(
                               if seconds > 0 else 0.0),
             mean_queue_delay=queue_delta.mean_queue_delay,
             fairness=jain_fairness(rates),
+            retried=queue_delta.retried,
+            failed=queue_delta.failed,
         )
         if index + 1 < len(phase_list):
             engine.run_sync(lambda f: f.drop_caches())
@@ -256,15 +267,19 @@ def render_multiclient(result: MultiClientResult) -> str:
         % (result.label, result.total_seconds),
     ]
     for phase in result.phases.values():
+        faulty = phase.retried > 0 or phase.failed > 0
+        headers = ["client", "ops", "ops/s", "cpu ms", "qwait ms",
+                   "p50 ms", "p95 ms", "p99 ms", "max ms"]
+        if faulty:
+            headers += ["retry", "err"]
         table = Table(
             "phase %-10s  %8.3f s  %7.1f ops/s  queue depth %.2f  fairness %.3f"
             % (phase.phase, phase.seconds, phase.ops_per_second,
                phase.mean_queue_depth, phase.fairness),
-            ["client", "ops", "ops/s", "cpu ms", "qwait ms",
-             "p50 ms", "p95 ms", "p99 ms", "max ms"],
+            headers,
         )
         for c in phase.per_client:
-            table.add_row(
+            row = [
                 c.client, c.n_ops, "%.1f" % c.ops_per_second,
                 "%.2f" % (c.cpu_seconds * 1e3),
                 "%.2f" % (c.queue_delay * 1e3),
@@ -272,10 +287,17 @@ def render_multiclient(result: MultiClientResult) -> str:
                 "%.2f" % (c.latency.p95 * 1e3),
                 "%.2f" % (c.latency.p99 * 1e3),
                 "%.2f" % (c.latency.maximum * 1e3),
-            )
+            ]
+            if faulty:
+                row += [c.retries, c.io_errors]
+            table.add_row(*row)
         agg = phase.latency
-        table.caption = ("aggregate: %s   mean queue delay %.2f ms"
-                         % (agg.render(), phase.mean_queue_delay * 1e3))
+        caption = ("aggregate: %s   mean queue delay %.2f ms"
+                   % (agg.render(), phase.mean_queue_delay * 1e3))
+        if faulty:
+            caption += ("   faults: %d retried, %d failed"
+                        % (phase.retried, phase.failed))
+        table.caption = caption
         sections.append(table.render())
     return "\n\n".join(sections)
 

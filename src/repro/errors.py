@@ -17,6 +17,26 @@ class AddressError(DiskError):
     """A sector or block address fell outside the device."""
 
 
+class MediaError(DiskError):
+    """A permanent (hard) media fault: the sector is gone for good."""
+
+
+class MediaReadError(MediaError):
+    """A read hit an unreadable sector (uncorrectable ECC)."""
+
+
+class MediaWriteError(MediaError):
+    """A write failed permanently; part of an extent may have landed."""
+
+
+class TransientDiskError(DiskError):
+    """A recoverable fault (timeout, recalibration); retrying may succeed."""
+
+
+class PowerLoss(DiskError):
+    """Power was cut; the device accepts no further requests."""
+
+
 class FileSystemError(ReproError):
     """Base class for file system errors (POSIX-flavoured)."""
 

@@ -1,0 +1,25 @@
+"""Fault injection and recovery: failing disks, crash images, sweeps."""
+
+from repro.faults.proxy import FaultyBlockDevice
+from repro.faults.schedule import (
+    HARD,
+    OK,
+    TORN,
+    TRANSIENT,
+    FaultDecision,
+    FaultSchedule,
+    FaultStats,
+    RetryPolicy,
+)
+
+__all__ = [
+    "HARD",
+    "OK",
+    "TORN",
+    "TRANSIENT",
+    "FaultDecision",
+    "FaultSchedule",
+    "FaultStats",
+    "FaultyBlockDevice",
+    "RetryPolicy",
+]

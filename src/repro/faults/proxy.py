@@ -1,0 +1,229 @@
+"""A fault-injecting proxy around :class:`BlockDevice`.
+
+The proxy is a drop-in device: file systems and the buffer cache work
+over it unchanged.  Every timed media request consults a
+:class:`FaultSchedule`:
+
+- *transient* faults are absorbed here with bounded exponential
+  backoff (charged to the simulated clock), modelling in-drive
+  retry/recalibration — callers only see the added latency unless the
+  retry budget is exhausted;
+- *hard* faults raise :class:`MediaReadError`/:class:`MediaWriteError`
+  with nothing landed;
+- *torn* writes land only a prefix of a multi-block extent before
+  raising, which is exactly the partial-failure window the ordering
+  rules in both file systems must survive;
+- a scheduled *power cut* lands the remaining media-write budget and
+  then raises :class:`PowerLoss`; the device is dead afterwards.
+
+With ``record_journal=True`` the proxy keeps the ordered list of
+``(block, bytes)`` media writes that actually landed.  ``image_at(k)``
+replays a prefix onto a fresh device — the crash-point sweep images.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.blockdev.device import BLOCK_SIZE, SECTORS_PER_BLOCK, BlockDevice
+from repro.blockdev.scheduler import clook_order, coalesce_blocks
+from repro.errors import MediaReadError, MediaWriteError, PowerLoss
+from repro.faults.schedule import (
+    HARD,
+    TORN,
+    TRANSIENT,
+    FaultSchedule,
+    FaultStats,
+    RetryPolicy,
+)
+
+
+class FaultyBlockDevice:
+    """Wraps a :class:`BlockDevice`, injecting faults per a schedule."""
+
+    def __init__(
+        self,
+        inner: BlockDevice,
+        schedule: Optional[FaultSchedule] = None,
+        retry: Optional[RetryPolicy] = None,
+        record_journal: bool = False,
+    ) -> None:
+        self.inner = inner
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.stats = FaultStats()
+        self.journal: Optional[List[Tuple[int, bytes]]] = (
+            [] if record_journal else None)
+        self.dead = False
+
+    # -- device surface the file systems rely on -------------------------------
+
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @property
+    def disk(self):
+        return self.inner.disk
+
+    @property
+    def total_blocks(self) -> int:
+        return self.inner.total_blocks
+
+    @property
+    def _blocks(self) -> Dict[int, bytes]:
+        return self.inner._blocks
+
+    # -- reads -----------------------------------------------------------------
+
+    def read_block(self, bno: int) -> bytes:
+        return self.read_extent(bno, 1)[0]
+
+    def read_extent(self, start: int, count: int) -> List[bytes]:
+        self.inner._check(start, count)
+        self._require_power()
+        self.stats.reads += 1
+        index = self.stats.reads - 1
+        decision = self.schedule.decide("read", index)
+        if decision.kind == HARD:
+            self.stats.hard_read_faults += 1
+            self.clock.advance(self.retry.error_latency)
+            raise MediaReadError(
+                "unreadable blocks [%d, %d)" % (start, start + count))
+        if decision.kind == TRANSIENT:
+            self._absorb_transient("read", start, count, decision.failures)
+        return self.inner.read_extent(start, count)
+
+    def read_batch(self, block_numbers: Iterable[int]) -> Dict[int, bytes]:
+        blocks = list(block_numbers)
+        if not blocks:
+            return {}
+        head = self.disk.current_lba_estimate() // SECTORS_PER_BLOCK
+        out: Dict[int, bytes] = {}
+        for start, count in coalesce_blocks(clook_order(blocks, head)):
+            data = self.read_extent(start, count)
+            for i in range(count):
+                out[start + i] = data[i]
+        return out
+
+    # -- writes ----------------------------------------------------------------
+
+    def write_block(self, bno: int, data: bytes) -> None:
+        self.write_extent(bno, [data])
+
+    def write_extent(self, start: int, blocks: Sequence[bytes]) -> None:
+        count = len(blocks)
+        self.inner._check(start, count)
+        for data in blocks:
+            if len(data) != BLOCK_SIZE:
+                raise ValueError(
+                    "block write must be exactly %d bytes" % BLOCK_SIZE)
+        self._require_power()
+        self.stats.writes += 1
+        index = self.stats.writes - 1
+        decision = self.schedule.decide("write", index)
+        if decision.kind == HARD:
+            self.stats.hard_write_faults += 1
+            self.clock.advance(self.retry.error_latency)
+            raise MediaWriteError(
+                "write to blocks [%d, %d) failed" % (start, start + count))
+        if decision.kind == TRANSIENT:
+            self._absorb_transient("write", start, count, decision.failures)
+
+        landed = count
+        torn = decision.kind == TORN and decision.torn_blocks < count
+        if torn:
+            landed = decision.torn_blocks
+        cut = False
+        if self.schedule.power_cut_after_write is not None:
+            budget = self.schedule.power_cut_after_write - self.stats.media_writes
+            if budget < landed:
+                landed = max(budget, 0)
+                cut = True
+        if landed:
+            self.disk.write(start * SECTORS_PER_BLOCK, landed * SECTORS_PER_BLOCK)
+            for i in range(landed):
+                self.inner.poke_block(start + i, blocks[i])
+                if self.journal is not None:
+                    self.journal.append((start + i, bytes(blocks[i])))
+            self.stats.media_writes += landed
+        if cut:
+            self.stats.power_cuts += 1
+            self.dead = True
+            raise PowerLoss(
+                "power cut after %d media writes" % self.stats.media_writes)
+        if torn:
+            self.stats.torn_writes += 1
+            raise MediaWriteError(
+                "torn write: %d of %d blocks at %d landed"
+                % (landed, count, start))
+
+    def write_batch(self, writes: Dict[int, bytes]) -> int:
+        if not writes:
+            return 0
+        head = self.disk.current_lba_estimate() // SECTORS_PER_BLOCK
+        ordered = clook_order(writes.keys(), head)
+        nrequests = 0
+        for start, count in coalesce_blocks(ordered):
+            self.write_extent(start, [writes[b] for b in range(start, start + count)])
+            nrequests += 1
+        return nrequests
+
+    # -- maintenance -----------------------------------------------------------
+
+    def flush(self) -> None:
+        self._require_power()
+        self.inner.flush()
+
+    def peek_block(self, bno: int) -> bytes:
+        return self.inner.peek_block(bno)
+
+    def poke_block(self, bno: int, data: bytes) -> None:
+        self.inner.poke_block(bno, data)
+
+    def save_image(self, path: str) -> None:
+        self.inner.save_image(path)
+
+    def _check(self, bno: int, count: int) -> None:
+        self.inner._check(bno, count)
+
+    # -- fault plumbing ---------------------------------------------------------
+
+    def _require_power(self) -> None:
+        if self.dead:
+            raise PowerLoss("device lost power")
+
+    def _absorb_transient(self, op: str, start: int, count: int,
+                          failures: int) -> None:
+        """In-drive retry: charge backoff per failed attempt, or give up."""
+        if failures >= self.retry.max_attempts:
+            self.stats.transient_faults += failures
+            self.clock.advance(self.retry.error_latency)
+            if op == "read":
+                self.stats.hard_read_faults += 1
+                raise MediaReadError(
+                    "blocks [%d, %d): transient fault persisted after %d attempts"
+                    % (start, start + count, failures))
+            self.stats.hard_write_faults += 1
+            raise MediaWriteError(
+                "blocks [%d, %d): transient fault persisted after %d attempts"
+                % (start, start + count, failures))
+        for attempt in range(failures):
+            self.stats.transient_faults += 1
+            self.clock.advance(self.retry.delay(attempt))
+
+    # -- crash images ------------------------------------------------------------
+
+    def image_at(self, k: Optional[int] = None) -> BlockDevice:
+        """A fresh device holding the first ``k`` journalled media writes
+        (all of them when ``k`` is None).  Requires ``record_journal``."""
+        if self.journal is None:
+            raise ValueError("proxy was created without record_journal")
+        device = BlockDevice(self.inner.disk.profile)
+        prefix = self.journal if k is None else self.journal[:k]
+        for bno, data in prefix:
+            device.poke_block(bno, data)
+        return device
+
+
+__all__ = ["FaultyBlockDevice"]

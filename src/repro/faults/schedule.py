@@ -1,0 +1,172 @@
+"""Deterministic fault schedules for the fault-injecting device proxy.
+
+A :class:`FaultSchedule` decides, for the *n*-th media request of each
+kind (``read``/``write``), whether it succeeds, fails transiently a few
+times before succeeding, fails hard, or — for multi-block writes —
+lands only a prefix of the extent (a torn write).  Decisions are pure
+functions of ``(seed, op, index)``: the same seed always produces the
+same fault sequence, regardless of the order in which different
+request kinds interleave, so experiments are reproducible and failures
+shrink to a seed.
+
+Independently of the random rates, explicit faults can be pinned to a
+specific request index (``fail_read``/``fail_write``/``tear_write``)
+and a power cut can be scheduled after the k-th media block-write
+(``power_cut_after_write``) — the primitive the crash-point sweep
+harness enumerates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Decision kinds.
+OK = "ok"
+TRANSIENT = "transient"
+HARD = "hard"
+TORN = "torn"
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What happens to one media request.
+
+    ``failures`` is how many transient attempts fail before one
+    succeeds (only for ``transient``).  ``torn_blocks`` is how many
+    blocks of a multi-block write land before the failure (only for
+    ``torn``; clamped to the extent length by the proxy).
+    """
+
+    kind: str = OK
+    failures: int = 0
+    torn_blocks: int = 0
+
+
+@dataclass
+class FaultStats:
+    """Counters the proxy keeps; reports read them."""
+
+    reads: int = 0
+    writes: int = 0
+    media_writes: int = 0        # individual blocks that landed
+    transient_faults: int = 0    # attempts that failed transiently
+    hard_read_faults: int = 0
+    hard_write_faults: int = 0
+    torn_writes: int = 0
+    power_cuts: int = 0
+
+
+class FaultSchedule:
+    """Seeded, per-request fault decisions.
+
+    ``transient_rate``/``hard_rate``/``torn_rate`` are per-request
+    probabilities.  ``max_transient_failures`` bounds the failure burst
+    a transient fault produces, so a retry policy with a higher attempt
+    budget always gets through.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        transient_rate: float = 0.0,
+        hard_rate: float = 0.0,
+        torn_rate: float = 0.0,
+        max_transient_failures: int = 2,
+        power_cut_after_write: Optional[int] = None,
+    ) -> None:
+        if not 0 <= transient_rate <= 1 or not 0 <= hard_rate <= 1 \
+                or not 0 <= torn_rate <= 1:
+            raise ValueError("fault rates must be in [0, 1]")
+        if max_transient_failures < 1:
+            raise ValueError("max_transient_failures must be >= 1")
+        self.seed = seed
+        self.transient_rate = transient_rate
+        self.hard_rate = hard_rate
+        self.torn_rate = torn_rate
+        self.max_transient_failures = max_transient_failures
+        #: Power is cut immediately after this many media block-writes
+        #: have landed (None = never).
+        self.power_cut_after_write = power_cut_after_write
+        self._explicit: Dict[Tuple[str, int], FaultDecision] = {}
+
+    # -- explicit injections --------------------------------------------------
+
+    def fail_read(self, index: int, transient: bool = False,
+                  failures: int = 1) -> "FaultSchedule":
+        """Pin a fault onto the ``index``-th read request."""
+        kind = TRANSIENT if transient else HARD
+        self._explicit[("read", index)] = FaultDecision(kind, failures=failures)
+        return self
+
+    def fail_write(self, index: int, transient: bool = False,
+                   failures: int = 1) -> "FaultSchedule":
+        """Pin a fault onto the ``index``-th write request."""
+        kind = TRANSIENT if transient else HARD
+        self._explicit[("write", index)] = FaultDecision(kind, failures=failures)
+        return self
+
+    def tear_write(self, index: int, landed_blocks: int) -> "FaultSchedule":
+        """Make the ``index``-th write land only ``landed_blocks`` blocks."""
+        self._explicit[("write", index)] = FaultDecision(
+            TORN, torn_blocks=landed_blocks)
+        return self
+
+    # -- decisions ------------------------------------------------------------
+
+    def decide(self, op: str, index: int) -> FaultDecision:
+        """The fate of the ``index``-th request of kind ``op``.
+
+        Seeding per ``(seed, op, index)`` (str seeds are hashed with a
+        stable algorithm in CPython) makes decisions order-independent:
+        interleaving reads differently does not perturb write faults.
+        """
+        explicit = self._explicit.get((op, index))
+        if explicit is not None:
+            return explicit
+        if not (self.transient_rate or self.hard_rate or self.torn_rate):
+            return FaultDecision()
+        rng = random.Random("faults:%d:%s:%d" % (self.seed, op, index))
+        roll = rng.random()
+        if roll < self.hard_rate:
+            return FaultDecision(HARD)
+        roll -= self.hard_rate
+        if op == "write" and roll < self.torn_rate:
+            return FaultDecision(TORN, torn_blocks=rng.randrange(0, 64))
+        if op == "write":
+            roll -= self.torn_rate
+        if roll < self.transient_rate:
+            return FaultDecision(
+                TRANSIENT,
+                failures=rng.randint(1, self.max_transient_failures))
+        return FaultDecision()
+
+
+@dataclass
+class RetryPolicy:
+    """How a layer above the device responds to transient faults.
+
+    ``backoff`` doubles per retry (exponential); ``error_latency`` is
+    the time a definitively failed request still occupies the drive
+    before the error is reported.
+    """
+
+    max_attempts: int = 4
+    backoff: float = 0.002
+    error_latency: float = 0.001
+
+    def delay(self, retries: int) -> float:
+        return self.backoff * (2 ** retries)
+
+
+__all__ = [
+    "FaultDecision",
+    "FaultSchedule",
+    "FaultStats",
+    "RetryPolicy",
+    "OK",
+    "TRANSIENT",
+    "HARD",
+    "TORN",
+]

@@ -526,6 +526,16 @@ class FFS(BlockFileSystem):
         sb_buf = self.cache.get(0)
         sb_buf.data[:] = layout.pack_superblock(self.sb)
         self.cache.mark_dirty(0)
+        rb = layout.replica_block(
+            self.sb["total_blocks"], self.sb["n_cgs"], self.sb["blocks_per_cg"])
+        if rb is not None:
+            # Replica in the post-cg tail: lets fsck recover a smashed
+            # superblock.  Delayed write, refreshed with every sync.
+            buf = self.cache.peek(rb)
+            if buf is None:
+                buf = self.cache.create(rb)
+            buf.data[:] = sb_buf.data
+            self.cache.mark_dirty(rb)
         self.alloc.store_descriptors()
 
     def _drop_private_caches(self) -> None:

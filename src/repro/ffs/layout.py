@@ -137,6 +137,20 @@ def unpack_superblock(data: bytes) -> dict:
     }
 
 
+def replica_block(total_blocks: int, n_cgs: int, blocks_per_cg: int):
+    """Block number of the superblock replica, or ``None``.
+
+    The replica lives in the tail past the last cylinder group (blocks
+    there belong to no group, so nothing else ever allocates them).
+    Volumes whose geometry leaves no tail simply have no replica —
+    fsck then cannot recover from a smashed superblock, same as before.
+    Shared by both on-disk formats.
+    """
+    tail_start = 1 + n_cgs * blocks_per_cg
+    candidate = total_blocks - 1
+    return candidate if candidate >= tail_start else None
+
+
 def pack_cg(free_blocks: int, free_inodes: int, block_rotor: int, inode_rotor: int) -> bytes:
     packed = struct.pack(_CG_FMT, free_blocks, free_inodes, block_rotor, inode_rotor)
     return packed + bytes(BLOCK_SIZE - len(packed))

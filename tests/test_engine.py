@@ -253,3 +253,144 @@ class TestEngineApi:
             (phase,) = result.phases.values()
             assert phase.n_ops > 0
             assert phase.seconds > 0.0
+
+
+def _faulty_burst(policy, lbas, schedule, retry=None):
+    from repro.faults import RetryPolicy
+
+    device = BlockDevice(TEST_PROFILE)
+    loop = EventLoop()
+    queue = DiskQueue(loop, device.disk, policy, faults=schedule,
+                      retry=retry or RetryPolicy())
+    done = []
+    for lba in lbas:
+        queue.submit("read", lba, 8, client=lba % 3, on_complete=done.append)
+    loop.run()
+    return queue, done
+
+
+class TestDiskQueueFaults:
+    """The queue under failing requests: balanced accounting, bounded
+    retries, no starvation under positional policies."""
+
+    LBAS = [20000, 400, 12000, 25000, 3000, 18000, 800, 9000, 22000, 5000]
+
+    def test_transient_fault_retried_and_completed(self):
+        from repro.faults import FaultSchedule
+
+        schedule = FaultSchedule().fail_read(0, transient=True)
+        for policy in ("fcfs", "sstf", "clook"):
+            queue, done = _faulty_burst(policy, self.LBAS, schedule)
+            assert len(done) == len(self.LBAS)
+            assert all(r.error is None for r in done)
+            assert queue.stats.retried == 1
+            assert queue.stats.failed == 0
+            assert sum(r.retries for r in done) == 1
+            # submitted == completed even with the requeue in between.
+            assert queue.stats.submitted == queue.stats.completed == len(self.LBAS)
+
+    def test_hard_fault_completes_with_error(self):
+        from repro.faults import FaultSchedule
+
+        schedule = FaultSchedule().fail_read(2)
+        queue, done = _faulty_burst("fcfs", self.LBAS, schedule)
+        assert len(done) == len(self.LBAS)
+        failed = [r for r in done if r.error is not None]
+        assert len(failed) == 1
+        assert failed[0].lba == self.LBAS[2]
+        assert "hard" in failed[0].error
+        assert queue.stats.failed == 1
+        assert queue.stats.completed == len(self.LBAS)
+
+    def test_exhausted_retries_surface_as_error(self):
+        from repro.faults import FaultSchedule, RetryPolicy
+
+        # Every dispatch of every read fails transiently: the retry
+        # budget caps the attempts and the request fails for good —
+        # no starvation, no infinite loop.
+        schedule = FaultSchedule(transient_rate=1.0)
+        retry = RetryPolicy(max_attempts=3)
+        queue, done = _faulty_burst("sstf", self.LBAS, schedule, retry)
+        assert len(done) == len(self.LBAS)
+        assert all(r.error is not None for r in done)
+        assert all(r.retries == retry.max_attempts - 1 for r in done)
+        assert queue.stats.failed == len(self.LBAS)
+        assert queue.stats.retried == (retry.max_attempts - 1) * len(self.LBAS)
+
+    def test_faulty_runs_are_deterministic(self):
+        from repro.faults import FaultSchedule
+
+        def run():
+            schedule = FaultSchedule(seed=11, transient_rate=0.3)
+            queue, done = _faulty_burst("clook", self.LBAS, schedule)
+            return [(r.lba, r.retries, r.error, r.complete_time) for r in done]
+
+        assert run() == run()
+
+    def test_requeued_request_not_starved_under_sstf(self):
+        from repro.faults import FaultSchedule
+
+        # The far request fails once; SSTF would always prefer the
+        # near cluster, but the retried request must still complete.
+        schedule = FaultSchedule().fail_read(0, transient=True)
+        lbas = [25000] + [100 + 8 * i for i in range(12)]
+        device = BlockDevice(TEST_PROFILE)
+        loop = EventLoop()
+        from repro.faults import RetryPolicy
+
+        queue = DiskQueue(loop, device.disk, "sstf", faults=schedule,
+                          retry=RetryPolicy())
+        done = []
+        for lba in lbas:
+            queue.submit("read", lba, 8, on_complete=done.append)
+        loop.run()
+        assert len(done) == len(lbas)
+        assert all(r.error is None for r in done)
+        assert queue.depth == 0
+
+
+class TestEngineFaults:
+    def test_multiclient_rides_out_transient_faults(self):
+        from repro.faults import FaultSchedule
+
+        clean = run_multiclient(label="cffs", n_clients=3,
+                                files_per_client=6, phases=("create",))
+        faulty = run_multiclient(label="cffs", n_clients=3,
+                                 files_per_client=6, phases=("create",),
+                                 faults=FaultSchedule(seed=5,
+                                                      transient_rate=0.25))
+        phase = faulty["create"]
+        assert phase.n_ops == clean["create"].n_ops  # no op lost
+        assert phase.retried > 0
+        assert phase.failed == 0
+        assert sum(c.retries for c in phase.per_client) > 0
+        assert all(c.io_errors == 0 for c in phase.per_client)
+        # Retry latency is real, but an errored dispatch does not move
+        # the arm, so total time may go either way; what must hold is
+        # that the clean run saw no fault traffic at all.
+        assert clean["create"].retried == 0 and clean["create"].failed == 0
+
+    def test_multiclient_hard_faults_abort_ops_not_the_run(self):
+        from repro.faults import FaultSchedule
+
+        schedule = FaultSchedule().fail_write(4).fail_write(9)
+        result = run_multiclient(label="ffs", n_clients=2,
+                                 files_per_client=8, phases=("create",),
+                                 faults=schedule)
+        phase = result["create"]
+        assert phase.failed == 2
+        assert sum(c.io_errors for c in phase.per_client) >= 1
+        # Every client still finished its script.
+        assert phase.n_ops == 2 * 8
+
+    def test_render_shows_fault_columns_when_faulty(self):
+        from repro.engine import render_multiclient
+        from repro.faults import FaultSchedule
+
+        result = run_multiclient(label="cffs", n_clients=2,
+                                 files_per_client=5, phases=("create",),
+                                 faults=FaultSchedule(seed=2,
+                                                      transient_rate=0.3))
+        text = render_multiclient(result)
+        assert "retry" in text and "err" in text
+        assert "retried" in text

@@ -1,0 +1,197 @@
+"""Fault-injection device tests: schedules, proxy semantics, recovery.
+
+The proxy must be a perfect no-op without a schedule, absorb transient
+faults with only a latency cost, land *nothing* on a hard write fault,
+land exactly the declared prefix on a torn write, and go dead after a
+power cut.  File systems running over a transiently-faulty device must
+come out fsck-pristine — faults the drive absorbs are invisible.
+"""
+
+import pytest
+
+from repro.blockdev.device import BLOCK_SIZE, BlockDevice
+from repro.errors import MediaReadError, MediaWriteError, PowerLoss
+from repro.faults import (
+    HARD,
+    OK,
+    TORN,
+    TRANSIENT,
+    FaultSchedule,
+    FaultyBlockDevice,
+    RetryPolicy,
+)
+from repro.fsck import fsck_cffs, fsck_ffs
+from tests.conftest import TEST_PROFILE, make_cffs, make_ffs
+
+
+def block(tag: int) -> bytes:
+    return bytes([tag & 0xFF]) * BLOCK_SIZE
+
+
+def proxy(schedule=None, retry=None, journal=False) -> FaultyBlockDevice:
+    return FaultyBlockDevice(BlockDevice(TEST_PROFILE), schedule=schedule,
+                             retry=retry, record_journal=journal)
+
+
+class TestFaultSchedule:
+    def test_deterministic_per_seed(self):
+        a = FaultSchedule(seed=7, transient_rate=0.2, hard_rate=0.05,
+                          torn_rate=0.1)
+        b = FaultSchedule(seed=7, transient_rate=0.2, hard_rate=0.05,
+                          torn_rate=0.1)
+        for i in range(200):
+            assert a.decide("write", i) == b.decide("write", i)
+            assert a.decide("read", i) == b.decide("read", i)
+
+    def test_order_independent(self):
+        a = FaultSchedule(seed=3, transient_rate=0.3)
+        forward = [a.decide("read", i) for i in range(50)]
+        backward = [a.decide("read", i) for i in reversed(range(50))]
+        assert forward == list(reversed(backward))
+
+    def test_seeds_differ(self):
+        a = FaultSchedule(seed=1, transient_rate=0.5)
+        b = FaultSchedule(seed=2, transient_rate=0.5)
+        assert any(a.decide("read", i) != b.decide("read", i)
+                   for i in range(100))
+
+    def test_rates_zero_means_clean(self):
+        s = FaultSchedule(seed=9)
+        assert all(s.decide("write", i).kind == OK for i in range(100))
+
+    def test_explicit_injections_override(self):
+        s = (FaultSchedule(seed=1)
+             .fail_read(3, transient=True, failures=2)
+             .fail_write(5)
+             .tear_write(7, landed_blocks=2))
+        assert s.decide("read", 3).kind == TRANSIENT
+        assert s.decide("read", 3).failures == 2
+        assert s.decide("write", 5).kind == HARD
+        torn = s.decide("write", 7)
+        assert torn.kind == TORN and torn.torn_blocks == 2
+        assert s.decide("write", 6).kind == OK
+
+
+class TestProxyTransparent:
+    def test_no_schedule_is_identity(self):
+        plain = BlockDevice(TEST_PROFILE)
+        faulty = proxy()
+        for bno in (0, 7, 100):
+            plain.write_block(bno, block(bno))
+            faulty.write_block(bno, block(bno))
+        assert faulty.read_block(7) == plain.read_block(7)
+        assert faulty.read_extent(0, 2) == plain.read_extent(0, 2)
+        assert faulty.stats.media_writes == 3
+        assert faulty.stats.transient_faults == 0
+
+    def test_batches_route_through_fault_path(self):
+        s = FaultSchedule().fail_write(0)
+        dev = proxy(schedule=s)
+        with pytest.raises(MediaWriteError):
+            dev.write_batch({1: block(1), 2: block(2)})
+        assert dev.stats.hard_write_faults == 1
+
+
+class TestTransient:
+    def test_absorbed_with_latency(self):
+        s = FaultSchedule().fail_write(0, transient=True, failures=2)
+        dev = proxy(schedule=s, retry=RetryPolicy(backoff=0.5))
+        before = dev.clock.now
+        dev.write_block(4, block(4))
+        assert dev.read_block(4) == block(4)          # data landed
+        assert dev.stats.transient_faults == 2
+        assert dev.clock.now - before >= 0.5 + 1.0    # backoff 0.5, then 1.0
+
+    def test_exhausted_budget_escalates(self):
+        s = FaultSchedule().fail_read(0, transient=True, failures=4)
+        dev = proxy(schedule=s, retry=RetryPolicy(max_attempts=4))
+        dev.write_block(2, block(2))
+        with pytest.raises(MediaReadError):
+            dev.read_extent(2, 1)
+        assert dev.stats.hard_read_faults == 1
+
+
+class TestHardAndTorn:
+    def test_hard_write_lands_nothing(self):
+        s = FaultSchedule().fail_write(0)
+        dev = proxy(schedule=s)
+        with pytest.raises(MediaWriteError):
+            dev.write_extent(10, [block(1), block(2)])
+        assert dev.read_block(10) == bytes(BLOCK_SIZE)
+        assert dev.stats.media_writes == 0
+
+    def test_hard_read_raises(self):
+        s = FaultSchedule().fail_read(0)
+        dev = proxy(schedule=s)
+        with pytest.raises(MediaReadError):
+            dev.read_block(0)
+
+    def test_torn_write_lands_prefix(self):
+        s = FaultSchedule().tear_write(0, landed_blocks=2)
+        dev = proxy(schedule=s)
+        with pytest.raises(MediaWriteError):
+            dev.write_extent(20, [block(1), block(2), block(3), block(4)])
+        assert dev.read_block(20) == block(1)
+        assert dev.read_block(21) == block(2)
+        assert dev.read_block(22) == bytes(BLOCK_SIZE)
+        assert dev.stats.torn_writes == 1
+        assert dev.stats.media_writes == 2
+
+
+class TestPowerCut:
+    def test_cut_lands_budget_then_dies(self):
+        s = FaultSchedule(power_cut_after_write=3)
+        dev = proxy(schedule=s, journal=True)
+        dev.write_extent(5, [block(1), block(2)])     # 2 writes landed
+        with pytest.raises(PowerLoss):
+            dev.write_extent(8, [block(3), block(4)])  # 1 more, then cut
+        assert dev.stats.media_writes == 3
+        assert dev.dead
+        with pytest.raises(PowerLoss):
+            dev.read_block(0)
+        with pytest.raises(PowerLoss):
+            dev.write_block(0, block(0))
+        with pytest.raises(PowerLoss):
+            dev.flush()
+
+    def test_image_at_replays_prefix(self):
+        dev = proxy(journal=True)
+        for i in range(5):
+            dev.write_block(30 + i, block(i + 1))
+        image = dev.image_at(3)
+        assert image.peek_block(30) == block(1)
+        assert image.peek_block(32) == block(3)
+        assert image.peek_block(33) == bytes(BLOCK_SIZE)
+        full = dev.image_at()
+        assert full.peek_block(34) == block(5)
+
+    def test_image_at_requires_journal(self):
+        dev = proxy()
+        with pytest.raises(ValueError):
+            dev.image_at(0)
+
+
+class TestFileSystemOverFaults:
+    """Transient faults the drive absorbs must be invisible to fsck."""
+
+    @pytest.mark.parametrize("maker,check", [(make_ffs, fsck_ffs),
+                                             (make_cffs, fsck_cffs)])
+    def test_transient_faults_stay_clean(self, maker, check):
+        fs = maker()
+        fs.device = FaultyBlockDevice(
+            fs.device,
+            schedule=FaultSchedule(seed=42, transient_rate=0.2,
+                                   max_transient_failures=2),
+        )
+        fs.cache.device = fs.device
+        fs.mkdir("/d")
+        for i in range(25):
+            fs.write_file("/d/f%02d" % i, b"v" * (400 * (i + 1)))
+        for i in range(0, 25, 3):
+            fs.unlink("/d/f%02d" % i)
+        fs.sync()
+        assert fs.device.stats.transient_faults > 0
+        report = check(fs.device)
+        assert report.pristine, report.render()
+        fs.drop_caches()
+        assert fs.read_file("/d/f01") == b"v" * 800

@@ -223,3 +223,185 @@ class TestCffsCorruption:
         report = fsck_cffs(fs.device)
         assert any("free in bitmap" in r for r in report.repairs)
         assert not report.pristine
+
+
+# ---------------------------------------------------------------------------
+# Repair mode: every detected corruption must round-trip — repair it,
+# and the second check comes back pristine.
+# ---------------------------------------------------------------------------
+
+from repro.core import layout as clayout  # noqa: E402
+from repro.core.filesystem import CFFS  # noqa: E402
+from repro.ffs import directory as fdir  # noqa: E402
+from repro.ffs.filesystem import FFS  # noqa: E402
+
+
+def repair_roundtrip(check, device):
+    """Repair, then re-check; returns (first report, second report)."""
+    first = check(device, repair=True)
+    second = check(device)
+    assert second.pristine, "not pristine after repair:\n" + second.render()
+    return first, second
+
+
+class TestFfsRepair:
+    def test_repair_on_pristine_image_is_noop(self):
+        fs = populated_ffs()
+        report = fsck_ffs(fs.device, repair=True)
+        assert report.pristine
+        assert report.fixed == []
+        assert fsck_ffs(fs.device).pristine
+
+    def test_smashed_superblock_restored_from_replica(self):
+        fs = populated_ffs()
+        fs.device.poke_block(0, bytes(BLOCK_SIZE))
+        assert not fsck_ffs(fs.device).ok
+        first, _ = repair_roundtrip(fsck_ffs, fs.device)
+        assert any("replica" in f for f in first.fixed)
+        remounted = FFS.mount(fs.device)
+        assert remounted.read_file("/top") == b"top level"
+
+    def test_dangling_dirent_repaired(self):
+        fs = populated_ffs()
+        handle = fs._resolve("/top")
+        bno, slot = fs._inode_location(handle.inum)
+        raw = bytearray(fs.device.peek_block(bno))
+        raw[slot * flayout.INODE_SIZE:(slot + 1) * flayout.INODE_SIZE] = bytes(
+            flayout.INODE_SIZE
+        )
+        fs.device.poke_block(bno, bytes(raw))
+        first, second = repair_roundtrip(fsck_ffs, fs.device)
+        assert any("free inode" in f or "removed" in f for f in first.fixed)
+        assert second.files == 30  # /top and /top2 both gone
+
+    def test_wrong_nlink_repaired(self):
+        fs = populated_ffs()
+        handle = fs._resolve("/d/f00")
+        bno, slot = fs._inode_location(handle.inum)
+        raw = bytearray(fs.device.peek_block(bno))
+        fields = flayout.unpack_inode(
+            bytes(raw[slot * flayout.INODE_SIZE:(slot + 1) * flayout.INODE_SIZE])
+        )
+        raw[slot * flayout.INODE_SIZE:(slot + 1) * flayout.INODE_SIZE] = (
+            flayout.pack_inode(
+                fields["mode"], 5, fields["flags"], fields["gen"],
+                fields["size"], fields["mtime"], fields["direct"],
+                fields["indirect"], fields["dindirect"], fields["nblocks"],
+            ))
+        fs.device.poke_block(bno, bytes(raw))
+        first, _ = repair_roundtrip(fsck_ffs, fs.device)
+        assert any("nlink" in f for f in first.fixed)
+        assert FFS.mount(fs.device).read_file("/d/f00") == b"x" * 512
+
+    def test_bitmap_disagreement_repaired(self):
+        fs = populated_ffs()
+        handle = fs._resolve("/d/f05")
+        data_block = handle.direct[0]
+        cgi = fs.alloc.cg_of_block(data_block)
+        bitmap_bno = fs.cg_base(cgi) + 1
+        raw = bytearray(fs.device.peek_block(bitmap_bno))
+        off = data_block - fs.cg_base(cgi)
+        raw[off >> 3] &= ~(1 << (off & 7))
+        fs.device.poke_block(bitmap_bno, bytes(raw))
+        first, _ = repair_roundtrip(fsck_ffs, fs.device)
+        assert any("bitmap" in f for f in first.fixed)
+
+    def test_orphan_inode_collected(self):
+        fs = populated_ffs()
+        d = fs._resolve("/d")
+        raw = bytearray(fs.device.peek_block(d.direct[0]))
+        assert fdir.remove_entry(raw, "f00") is not None
+        fs.device.poke_block(d.direct[0], bytes(raw))
+        before = fsck_ffs(fs.device)
+        assert any("orphan" in w for w in before.warnings)
+        first, second = repair_roundtrip(fsck_ffs, fs.device)
+        assert any("orphan" in f or "unreachable" in f for f in first.fixed)
+        assert second.files == 30
+        assert second.warnings == []
+
+
+class TestCffsRepair:
+    def test_repair_on_pristine_image_is_noop(self):
+        fs = populated_cffs()
+        report = fsck_cffs(fs.device, repair=True)
+        assert report.pristine
+        assert report.fixed == []
+        assert fsck_cffs(fs.device).pristine
+
+    def test_smashed_superblock_restored_from_replica(self):
+        fs = populated_cffs()
+        fs.device.poke_block(0, bytes(BLOCK_SIZE))
+        assert not fsck_cffs(fs.device).ok
+        first, _ = repair_roundtrip(fsck_cffs, fs.device)
+        assert any("replica" in f for f in first.fixed)
+        remounted = CFFS.mount(fs.device)
+        assert remounted.read_file("/top") == b"top level"
+
+    def test_group_slot_ownership_repaired(self):
+        fs = populated_cffs()
+        handle = fs._resolve("/d/f00")
+        bno = handle.direct[0]
+        ext = fs.groups.extent_of_block(bno)
+        desc = fs.groups.read_desc(ext)
+        desc["slots"][bno - fs.groups.extent_base(ext)] = (999999, 0)
+        fs.groups.write_desc(ext, desc)
+        fs.sync()
+        first, _ = repair_roundtrip(fsck_cffs, fs.device)
+        assert any("descriptor rebuilt" in f for f in first.fixed)
+
+    def test_referenced_block_with_free_slot_repaired(self):
+        fs = populated_cffs()
+        handle = fs._resolve("/d/f00")
+        bno = handle.direct[0]
+        ext = fs.groups.extent_of_block(bno)
+        desc = fs.groups.read_desc(ext)
+        desc["valid_mask"] &= ~(1 << (bno - fs.groups.extent_base(ext)))
+        fs.groups.write_desc(ext, desc)
+        fs.sync()
+        repair_roundtrip(fsck_cffs, fs.device)
+
+    def test_external_nlink_repaired(self):
+        fs = populated_cffs()
+        handle = fs._resolve("/top")
+        inum = handle.loc[1]
+        handle.nlink = 9
+        fs.ext.store(inum, handle, sync=False)
+        fs.sync()
+        first, _ = repair_roundtrip(fsck_cffs, fs.device)
+        assert any("nlink" in f for f in first.fixed)
+        assert CFFS.mount(fs.device).read_file("/top2") == b"top level"
+
+    def test_bitmap_disagreement_repaired(self):
+        fs = populated_cffs()
+        handle = fs._resolve("/big")
+        data_block = handle.direct[0]
+        cgi = fs.alloc.cg_of_block(data_block)
+        bitmap_bno = fs.cg_base(cgi) + 1
+        raw = bytearray(fs.device.peek_block(bitmap_bno))
+        off = data_block - fs.cg_base(cgi)
+        raw[off >> 3] &= ~(1 << (off & 7))
+        fs.device.poke_block(bitmap_bno, bytes(raw))
+        first, _ = repair_roundtrip(fsck_cffs, fs.device)
+        assert any("bitmap" in f for f in first.fixed)
+
+    def test_stale_next_fileid_repaired(self):
+        fs = populated_cffs()
+        raw = fs.device.peek_block(0)
+        sb = clayout.unpack_superblock(raw)
+        sb["next_fileid"] = 3
+        fs.device.poke_block(
+            0, clayout.pack_superblock(sb, clayout.root_inode_bytes(raw)))
+        before = fsck_cffs(fs.device)
+        assert any("next_fileid" in r for r in before.repairs)
+        first, _ = repair_roundtrip(fsck_cffs, fs.device)
+        assert any("superblock counters" in f for f in first.fixed)
+
+    def test_repair_all_grid_configs(self):
+        for embedded in (True, False):
+            for grouping in (True, False):
+                fs = populated_cffs(embedded=embedded, grouping=grouping)
+                fs.device.poke_block(0, bytes(BLOCK_SIZE))
+                first = fsck_cffs(fs.device, repair=True)
+                assert first.fixed, (embedded, grouping)
+                second = fsck_cffs(fs.device)
+                assert second.pristine, (embedded, grouping, second.render())

@@ -164,3 +164,76 @@ def test_random_ops_cffs_softdep(ops):
     fs = run_model(make_cffs(policy=MetadataPolicy.DELAYED_METADATA), ops)
     report = fsck_cffs(fs.device)
     assert report.ok, report.render()
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: transient faults are invisible to the oracle; hard
+# faults surface as clean errors and a retried sync leaves no damage.
+# ---------------------------------------------------------------------------
+
+from repro.errors import MediaReadError, MediaWriteError  # noqa: E402
+from repro.faults import FaultSchedule, FaultyBlockDevice  # noqa: E402
+
+
+def _faulty(fs, schedule):
+    fs.device = FaultyBlockDevice(fs.device, schedule=schedule)
+    fs.cache.device = fs.device
+    return fs
+
+
+@given(operations, st.integers(min_value=0, max_value=999))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_ops_cffs_transient_faults(ops, fault_seed):
+    """With the drive absorbing transient faults (bounded retries), the
+    oracle must still agree byte-for-byte and the image stays clean."""
+    fs = _faulty(make_cffs(), FaultSchedule(
+        seed=fault_seed, transient_rate=0.15, max_transient_failures=2))
+    run_model(fs, ops)
+    report = fsck_cffs(fs.device)
+    assert report.ok, report.render()
+
+
+@given(operations, st.integers(min_value=0, max_value=999))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_ops_ffs_transient_faults(ops, fault_seed):
+    fs = _faulty(make_ffs(), FaultSchedule(
+        seed=fault_seed, transient_rate=0.15, max_transient_failures=2))
+    run_model(fs, ops)
+    report = fsck_ffs(fs.device)
+    assert report.ok, report.render()
+
+
+def test_hard_write_fault_fails_sync_cleanly_then_retries():
+    """A hard write fault during a delayed-metadata sync raises a typed
+    error, leaves the cache dirty, and a retried sync recovers fully."""
+    from repro.cache.policy import MetadataPolicy
+
+    fs = _faulty(make_cffs(policy=MetadataPolicy.DELAYED_METADATA),
+                 FaultSchedule())
+    for i in range(8):
+        fs.write_file("/f%d" % i, b"h" * (700 * (i + 1)))
+    # Fail the next media write — it will happen inside sync's flush.
+    fs.device.schedule.fail_write(fs.device.stats.writes)
+    with pytest.raises(MediaWriteError):
+        fs.sync()
+    assert fs.cache.dirty_count > 0  # nothing silently marked clean
+    fs.sync()  # the fault was one-shot; the retry lands everything
+    report = fsck_cffs(fs.device)
+    assert report.pristine, report.render()
+    fs.drop_caches()
+    for i in range(8):
+        assert fs.read_file("/f%d" % i) == b"h" * (700 * (i + 1))
+
+
+def test_hard_read_fault_surfaces_not_corrupts():
+    fs = _faulty(make_ffs(), FaultSchedule())
+    fs.write_file("/x", b"y" * 5000)
+    fs.sync()
+    fs.drop_caches()
+    fs.device.schedule.fail_read(fs.device.stats.reads)
+    with pytest.raises(MediaReadError):
+        fs.read_file("/x")
+    assert fs.read_file("/x") == b"y" * 5000  # next attempt succeeds
+    assert fsck_ffs(fs.device).pristine
