@@ -24,6 +24,7 @@ profile (and therefore the timing model) travels inside the image.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -259,6 +260,19 @@ def cmd_multiclient(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import lint_paths
+    from repro.lint.reporters import render_json, render_text
+
+    rule_ids = ([r.strip() for r in args.rules.split(",")] if args.rules else None)
+    result = lint_paths(args.paths, rule_ids)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -354,6 +368,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--softdep", action="store_true")
     p.set_defaults(func=cmd_multiclient)
 
+    p = sub.add_parser(
+        "lint",
+        help="reprolint: domain-aware static analysis over the source tree")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--rules",
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--show-suppressed", action="store_true",
+                   help="also list findings silenced by reprolint directives")
+    p.set_defaults(func=cmd_lint)
+
     p = sub.add_parser("bench", help="run the small-file benchmark")
     p.add_argument("--files", type=int, default=2000)
     p.add_argument("--size", type=int, default=1024)
@@ -374,6 +400,13 @@ def main(argv: Optional[list] = None) -> int:
     except FileNotFoundError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Output piped to a consumer that closed early (| head).
+        # Detach stdout so interpreter shutdown doesn't retry the
+        # flush and print a spurious traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

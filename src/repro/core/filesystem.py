@@ -279,6 +279,7 @@ class CFFS(BlockFileSystem):
             inodes_per_cg=0,
             data_start=int(self.sb["data_start"]),
             cg_base_of=self.cg_base,
+            counts=self.sb,
         )
         self.groups = GroupTable(
             self.cache,
@@ -444,7 +445,6 @@ class CFFS(BlockFileSystem):
         start = self.alloc.alloc_contiguous(owner.home_cg, span, align=span)
         if start is None:
             return None
-        self.sb["free_blocks"] = int(self.sb["free_blocks"]) - span
         ext = self.groups.extent_of_block(start)
         if ext is None or self.groups.extent_base(ext) != start:
             raise CorruptFileSystem("contiguous run %d is not extent-aligned" % start)
@@ -475,7 +475,6 @@ class CFFS(BlockFileSystem):
             else:
                 bno = self.alloc.alloc_block(pref_cg)
         self.groups.note_ungrouped_alloc(bno)
-        self.sb["free_blocks"] = int(self.sb["free_blocks"]) - 1
         return bno
 
     def _alloc_meta_block(self, handle: CNode) -> int:
@@ -483,13 +482,11 @@ class CFFS(BlockFileSystem):
             handle.home_cg, pref_offset=int(self.sb["data_start"])
         )
         self.groups.note_ungrouped_alloc(bno)
-        self.sb["free_blocks"] = int(self.sb["free_blocks"]) - 1
         return bno
 
     def _alloc_ext_table_block(self) -> int:
         bno = self.alloc.alloc_block(0, pref_offset=int(self.sb["data_start"]))
         self.groups.note_ungrouped_alloc(bno)
-        self.sb["free_blocks"] = int(self.sb["free_blocks"]) - 1
         return bno
 
     def _block_is_grouped(self, bno: int) -> bool:
@@ -509,12 +506,8 @@ class CFFS(BlockFileSystem):
                     base = self.groups.extent_base(ext)
                     for i in range(self.config.group_span):
                         self.alloc.free_block(base + i)
-                    self.sb["free_blocks"] = (
-                        int(self.sb["free_blocks"]) + self.config.group_span
-                    )
                 return
         self.alloc.free_block(bno)
-        self.sb["free_blocks"] = int(self.sb["free_blocks"]) + 1
         self.groups.note_ungrouped_free(bno, self.alloc.block_is_allocated)
 
     def _ungroup_file(self, handle: CNode) -> None:
@@ -591,7 +584,6 @@ class CFFS(BlockFileSystem):
             start = self.alloc.alloc_contiguous(dirh.home_cg, span, align=span)
             if start is None:
                 break  # partial regroup with what is available
-            self.sb["free_blocks"] = int(self.sb["free_blocks"]) - span
             ext = self.groups.extent_of_block(start)
             self.groups.claim_extent(ext, dirh.fileid)
             extents.append(ext)
@@ -633,7 +625,6 @@ class CFFS(BlockFileSystem):
                 self.groups.write_desc(unused, desc)
                 for i in range(span):
                     self.alloc.free_block(base + i)
-                self.sb["free_blocks"] = int(self.sb["free_blocks"]) + span
         return moved
 
     # ------------------------------------------------------------------ group-aware I/O
@@ -658,7 +649,10 @@ class CFFS(BlockFileSystem):
                 singles.append((idx, bno))
                 continue
             start, count, desc = span
-            data = self.cache.device.read_extent(start, count)
+            # The paper's key mechanism: a grouped extent is fetched as
+            # one large request for bandwidth, then installed block-by-
+            # block into the cache (which remains the source of truth).
+            data = self.cache.device.read_extent(start, count)  # reprolint: disable=L001
             base = self.groups.extent_base(ext)
             for slot in range(self.config.group_span):
                 if not desc["valid_mask"] & (1 << slot):
@@ -1110,6 +1104,10 @@ def make_cffs(
 ) -> CFFS:
     """Convenience factory: a fresh C-FFS on a fresh simulated disk."""
     if device is None:
+        # make_cffs is a convenience factory that assembles the whole
+        # stack (disk + device + fs); the file system proper never
+        # touches repro.disk.
+        # reprolint: disable=L001
         from repro.disk.profiles import SEAGATE_ST31200
 
         device = BlockDevice(profile if profile is not None else SEAGATE_ST31200)

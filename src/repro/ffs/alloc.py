@@ -40,6 +40,7 @@ class GroupedAllocator:
         inodes_per_cg: int,
         data_start: int,
         cg_base_of,
+        counts: Optional[Dict[str, int]] = None,
     ) -> None:
         self.cache = cache
         self.n_cgs = n_cgs
@@ -48,6 +49,15 @@ class GroupedAllocator:
         self.data_start = data_start
         self._cg_base_of = cg_base_of
         self._groups: Dict[int, CylinderGroup] = {}
+        # Owning file system's superblock counters (a live reference).
+        # The allocator is the single writer of the free_blocks /
+        # free_inodes rollups, so the summary can never drift from the
+        # per-group counts and bitmaps it maintains alongside.
+        self.counts = counts
+
+    def _charge(self, key: str, delta: int) -> None:
+        if self.counts is not None and key in self.counts:
+            self.counts[key] = int(self.counts[key]) + delta
 
     # -- cg access -------------------------------------------------------------
 
@@ -117,6 +127,7 @@ class GroupedAllocator:
                 set_bit(bitmap, offset)
                 self.cache.mark_dirty(cg.bitmap_block)
                 cg.free_blocks -= 1
+                self._charge("free_blocks", -1)
                 cg.block_rotor = offset + 1
                 return cg.base + offset
             # Fall through to dense allocation.
@@ -138,6 +149,7 @@ class GroupedAllocator:
             set_bit(bitmap, offset)
             self.cache.mark_dirty(cg.bitmap_block)
             cg.free_blocks -= 1
+            self._charge("free_blocks", -1)
             if pref_offset is None:
                 # Explicitly-positioned allocations (dense metadata,
                 # adjacent file growth) must not disturb the rotor that
@@ -181,6 +193,7 @@ class GroupedAllocator:
                         set_bit(bitmap, aligned + i)
                     self.cache.mark_dirty(cg.bitmap_block)
                     cg.free_blocks -= count
+                    self._charge("free_blocks", -count)
                     return cg.base + aligned
         return None
 
@@ -194,6 +207,7 @@ class GroupedAllocator:
         clear_bit(bitmap, offset)
         self.cache.mark_dirty(cg.bitmap_block)
         cg.free_blocks += 1
+        self._charge("free_blocks", 1)
 
     def block_is_allocated(self, bno: int) -> bool:
         cgi = self.cg_of_block(bno)
@@ -227,6 +241,7 @@ class GroupedAllocator:
                 if not self._inode_used(cg, idx):
                     self._set_inode_used(cg, idx, True)
                     cg.free_inodes -= 1
+                    self._charge("free_inodes", -1)
                     cg.inode_rotor = (idx + 1) % self.inodes_per_cg
                     return cgi * self.inodes_per_cg + idx + 1
         raise NoSpace("no free inodes anywhere")
@@ -238,6 +253,7 @@ class GroupedAllocator:
             raise NoSpace("double free of inode %d" % inum)
         self._set_inode_used(cg, idx, False)
         cg.free_inodes += 1
+        self._charge("free_inodes", 1)
 
     def inode_is_allocated(self, inum: int) -> bool:
         cgi, idx = divmod(inum - 1, self.inodes_per_cg)

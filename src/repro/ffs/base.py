@@ -108,7 +108,11 @@ class BlockFileSystem(FileSystem):
             idx, bno = missing[0]
             self.cache.get(bno, logical=(fid, idx))
             return
-        data = self.cache.device.read_batch([bno for _, bno in missing])
+        # Prefetch clustering issues one batched request on purpose —
+        # per-block cache.get() calls would serialize the seeks this
+        # path exists to avoid.  The blocks are installed in the cache
+        # immediately below, so the cache stays authoritative.
+        data = self.cache.device.read_batch([bno for _, bno in missing])  # reprolint: disable=L001
         for idx, bno in missing:
             self.cache.install(bno, data[bno], logical=(fid, idx))
 

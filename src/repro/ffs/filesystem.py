@@ -115,6 +115,7 @@ class FFS(BlockFileSystem):
         n_cgs = (total - 1) // config.blocks_per_cg
         if n_cgs < 1:
             raise InvalidArgument("device too small for one cylinder group")
+        data_per_cg = config.blocks_per_cg - config.data_start
         fs.sb = {
             "magic": layout.FFS_MAGIC,
             "version": 1,
@@ -126,11 +127,10 @@ class FFS(BlockFileSystem):
             "data_start": config.data_start,
             "root_inum": ROOT_INUM,
             "next_gen": 1,
-            "free_blocks": 0,
-            "free_inodes": 0,
+            "free_blocks": n_cgs * data_per_cg,
+            "free_inodes": n_cgs * config.inodes_per_cg,
         }
         fs._build_allocator()
-        data_per_cg = config.blocks_per_cg - config.data_start
         for cgi in range(n_cgs):
             base = fs.cg_base(cgi)
             desc = fs.cache.create(base)
@@ -144,8 +144,6 @@ class FFS(BlockFileSystem):
             )
             fs.cache.mark_dirty(base)
             fs.cache.mark_dirty(base + 1)
-        fs.sb["free_blocks"] = n_cgs * data_per_cg
-        fs.sb["free_inodes"] = n_cgs * config.inodes_per_cg
         # Root directory: inode 1 in group 0, no data blocks yet.
         root_inum = fs.alloc.alloc_inode(0)
         if root_inum != ROOT_INUM:
@@ -154,7 +152,6 @@ class FFS(BlockFileSystem):
         root.init_as(layout.MODE_DIR, gen=fs._next_gen(), mtime=device.clock.now)
         fs._icache[root_inum] = root
         fs._istore_inode(root, sync=False)
-        fs.sb["free_inodes"] -= 1
         fs._write_back_metadata()
         fs.cache.sync()
         return fs
@@ -193,6 +190,7 @@ class FFS(BlockFileSystem):
             inodes_per_cg=self.sb["inodes_per_cg"],
             data_start=self.sb["data_start"],
             cg_base_of=self.cg_base,
+            counts=self.sb,
         )
 
     # ------------------------------------------------------------------ geometry
@@ -250,9 +248,7 @@ class FFS(BlockFileSystem):
         pref_cg = self.cg_of_inum(handle.inum)
         if handle.is_dir:
             # Directories stay dense near the cylinder-group metadata.
-            bno = self.alloc.alloc_block(pref_cg, pref_offset=self.sb["data_start"])
-            self.sb["free_blocks"] -= 1
-            return bno
+            return self.alloc.alloc_block(pref_cg, pref_offset=self.sb["data_start"])
         if idx == 0:
             # First block of a file: rotationally spread placement.
             bno = self.alloc.alloc_block(pref_cg, spread=self.config.small_file_spread)
@@ -264,17 +260,13 @@ class FFS(BlockFileSystem):
                 bno = self.alloc.alloc_block(prev_cg, pref_offset=offset)
             else:
                 bno = self.alloc.alloc_block(pref_cg)
-        self.sb["free_blocks"] -= 1
         return bno
 
     def _alloc_meta_block(self, handle: Inode) -> int:
-        bno = self.alloc.alloc_block(self.cg_of_inum(handle.inum))
-        self.sb["free_blocks"] -= 1
-        return bno
+        return self.alloc.alloc_block(self.cg_of_inum(handle.inum))
 
     def _free_file_block(self, handle: Inode, bno: int) -> None:
         self.alloc.free_block(bno)
-        self.sb["free_blocks"] += 1
 
     # ------------------------------------------------------------------ directories
 
@@ -418,7 +410,6 @@ class FFS(BlockFileSystem):
         inode = Inode(inum)
         inode.init_as(layout.MODE_FILE, gen=self._next_gen(), mtime=self.device.clock.now)
         self._icache[inum] = inode
-        self.sb["free_inodes"] -= 1
         # Ordering: initialized inode reaches disk before the name.
         self._istore_inode(inode, sync=True)
         self._dir_add_entry(dirh, name, inum, layout.DT_FILE)
@@ -432,7 +423,6 @@ class FFS(BlockFileSystem):
         inode = Inode(inum)
         inode.init_as(layout.MODE_DIR, gen=self._next_gen(), mtime=self.device.clock.now)
         self._icache[inum] = inode
-        self.sb["free_inodes"] -= 1
         self._istore_inode(inode, sync=True)
         self._dir_add_entry(dirh, name, inum, layout.DT_DIR)
         return inode
@@ -452,7 +442,6 @@ class FFS(BlockFileSystem):
             inode.clear()
             self._istore_inode(inode, sync=True)      # "inactive" reclamation
             self.alloc.free_inode(inum)
-            self.sb["free_inodes"] += 1
             self._icache.pop(inum, None)
 
     def _rmdir(self, dirh: Inode, name: str) -> None:
@@ -470,7 +459,6 @@ class FFS(BlockFileSystem):
         victim.clear()
         self._istore_inode(victim, sync=True)
         self.alloc.free_inode(victim.inum)
-        self.sb["free_inodes"] += 1
         self._icache.pop(victim.inum, None)
         self._dir_index.pop(victim.inum, None)
 
@@ -588,6 +576,9 @@ def make_ffs(
     Seagate ST31200).
     """
     if device is None:
+        # make_ffs is a convenience factory that assembles the whole
+        # stack; FFS proper never touches repro.disk.
+        # reprolint: disable=L001
         from repro.disk.profiles import SEAGATE_ST31200
 
         device = BlockDevice(profile if profile is not None else SEAGATE_ST31200)

@@ -1,0 +1,57 @@
+"""Reporters: render a LintResult as human text or machine JSON.
+
+The JSON form is stable (sorted findings, fixed keys) so CI diffs and
+golden tests stay meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.runner import LintResult
+from repro.lint.rules import RULES
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    lines: List[str] = []
+    for finding in result.unsuppressed:
+        lines.append(
+            "%s: %s %s" % (finding.location(), finding.rule, finding.message)
+        )
+    if show_suppressed:
+        for finding in result.suppressed:
+            lines.append(
+                "%s: %s (suppressed) %s"
+                % (finding.location(), finding.rule, finding.message)
+            )
+    lines.append(
+        "checked %d file(s), %d rule(s): %d finding(s), %d suppressed"
+        % (
+            result.files_checked,
+            len(result.rules_run),
+            len(result.unsuppressed),
+            len(result.suppressed),
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, show_suppressed: bool = True) -> str:
+    findings = [
+        f.as_dict()
+        for f in result.findings
+        if show_suppressed or not f.suppressed
+    ]
+    payload = {
+        "tool": "reprolint",
+        "rules": {rule.id: rule.title for rule in RULES if rule.id in result.rules_run},
+        "files_checked": result.files_checked,
+        "findings": findings,
+        "counts": {
+            "unsuppressed": len(result.unsuppressed),
+            "suppressed": len(result.suppressed),
+        },
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,30 @@
+"""Rule registry: one module per rule family, registered here.
+
+To add a rule: write a :class:`repro.lint.core.Rule` subclass in a new
+module under ``repro/lint/rules/``, give it a fresh id (letter +
+three digits), and append an instance to :data:`RULES`.  The id is the
+suppression token, so it must never be recycled for a different check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lint.core import Rule
+from repro.lint.rules.layering import LayeringRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.errors_rule import ErrorTaxonomyRule
+from repro.lint.rules.structfmt import StructFormatRule
+from repro.lint.rules.metadata import DerivedMetadataRule
+
+RULES: List[Rule] = [
+    LayeringRule(),
+    DeterminismRule(),
+    ErrorTaxonomyRule(),
+    StructFormatRule(),
+    DerivedMetadataRule(),
+]
+
+
+def rule_catalog() -> Dict[str, Rule]:
+    return {rule.id: rule for rule in RULES}

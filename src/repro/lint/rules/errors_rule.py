@@ -1,0 +1,66 @@
+"""E001 — error taxonomy: operational failures derive from ReproError.
+
+The CLI, the fault harness, and the retry machinery in the engine all
+dispatch on the :class:`repro.errors.ReproError` hierarchy (media
+faults are retried, POSIX-flavoured errors surface to the caller,
+anything else is a bug).  A ``raise Exception`` or a bare ``except:``
+punches a hole in that dispatch.
+
+Python's *contract* exceptions (``ValueError``/``TypeError`` for bad
+arguments to internal helpers, ``AssertionError``, ``KeyError``,
+``NotImplementedError``) signal programmer error, not simulated-world
+failure, and remain allowed — the same split the kernel draws between
+``BUG_ON`` and error returns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator
+
+from repro.lint.core import Finding, LintModule, Rule
+
+# Raising these hides failures from the taxonomy-aware handlers.
+FORBIDDEN_RAISES: FrozenSet[str] = frozenset(
+    {
+        "Exception", "BaseException", "RuntimeError", "SystemError",
+        "OSError", "IOError", "EnvironmentError",
+    }
+)
+
+
+class ErrorTaxonomyRule(Rule):
+    id = "E001"
+    title = "errors: no bare except, no raising generic exceptions"
+    rationale = (
+        "fault handling dispatches on the ReproError hierarchy; generic "
+        "exceptions bypass retry and repair paths"
+    )
+
+    def check(self, mod: LintModule, context: object) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.found(
+                    mod,
+                    node,
+                    "bare 'except:' swallows PowerLoss and every other "
+                    "typed fault; catch a ReproError subclass",
+                )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                name = self._raised_name(node.exc)
+                if name in FORBIDDEN_RAISES:
+                    yield self.found(
+                        mod,
+                        node,
+                        "raise %s: operational errors must derive from "
+                        "repro.errors.ReproError so retry/repair handlers "
+                        "can dispatch on them" % name,
+                    )
+
+    @staticmethod
+    def _raised_name(exc: ast.expr) -> str:
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name):
+            return exc.id
+        return ""

@@ -215,7 +215,11 @@ class FileSystem(abc.ABC):
         the file are gathered into batched writes (groups and clusters
         coalesce exactly as they would on eviction).
         """
-        from repro.ffs import mapping  # local import: vfs stays format-free
+        # Deliberate wart: both formats share ffs.mapping as the
+        # block-walker; the import is local so vfs stays format-free
+        # at module load.
+        # reprolint: disable=L001
+        from repro.ffs import mapping
 
         self.cpu.charge_syscall()
         handle = self.fds.lookup(fd).handle
@@ -225,7 +229,10 @@ class FileSystem(abc.ABC):
         # Persist the inode (and, per-format, whatever metadata chain it
         # depends on) even under delayed-metadata policy.
         nreq += self._fsync_metadata(handle)  # type: ignore[attr-defined]
-        self.cache.device.flush()
+        # fsync is the one place the barrier must reach the platter:
+        # the cache has already issued its writes, and only the device
+        # can drain its write-behind buffer.
+        self.cache.device.flush()  # reprolint: disable=L001
         return nreq
 
     def evict_file_data(self, path: str) -> int:
@@ -236,7 +243,8 @@ class FileSystem(abc.ABC):
         use this to model data-cache turnover without losing the hot
         name/metadata state a busy system retains.
         """
-        from repro.ffs import mapping  # local import: vfs stays format-free
+        # reprolint: disable=L001 — same shared block-walker wart as fsync.
+        from repro.ffs import mapping
 
         self.cpu.charge_syscall()
         handle = self._resolve(path)

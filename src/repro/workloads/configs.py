@@ -7,6 +7,11 @@ of the C-FFS implementation with techniques toggled, exactly as the
 paper measured "the same file system without these techniques".
 """
 
+# reprolint: disable-file=L001 — this module is the stack *assembly*
+# point (profile -> device -> file system) that the benchmarks, the
+# engine, and the CLI all share.  The workload drivers themselves stay
+# above vfs; nothing here performs I/O behind the cache's back.
+
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple

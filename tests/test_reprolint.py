@@ -1,0 +1,418 @@
+"""reprolint rule tests: each rule has a trigger and a non-trigger
+fixture, suppression directives are honoured, and the JSON reporter is
+byte-stable."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lint import lint_sources, rule_catalog
+from repro.lint.core import LintError, module_name_of
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules.structfmt import count_format_values
+
+
+def rules_of(result, suppressed=None):
+    """Set of rule ids among the result's findings.
+
+    suppressed=None counts all findings; True/False filters.
+    """
+    return {
+        f.rule
+        for f in result.findings
+        if suppressed is None or f.suppressed is suppressed
+    }
+
+
+# -- harness basics -----------------------------------------------------------
+
+
+def test_module_name_derivation():
+    assert module_name_of("src/repro/ffs/alloc.py") == "repro.ffs.alloc"
+    assert module_name_of("src/repro/cli.py") == "repro.cli"
+    assert module_name_of("src/repro/ffs/__init__.py") == "repro.ffs"
+    assert module_name_of("scratch.py") == "scratch"
+
+
+def test_syntax_error_raises_lint_error():
+    with pytest.raises(LintError):
+        lint_sources({"src/repro/ffs/bad.py": "def broken(:\n"})
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(LintError):
+        lint_sources({"src/repro/ok.py": "x = 1\n"}, rule_ids=["Z999"])
+
+
+def test_rule_catalog_lists_all_five():
+    assert set(rule_catalog()) == {"L001", "D001", "E001", "F001", "M001"}
+
+
+# -- L001 layering ------------------------------------------------------------
+
+
+def test_l001_ffs_importing_disk_is_flagged():
+    # The ISSUE's canary: reintroducing a direct disk import in the
+    # file-system layer must fail the lint run.
+    result = lint_sources({
+        "src/repro/ffs/filesystem.py": "from repro.disk.drive import Drive\n",
+    })
+    assert "L001" in rules_of(result, suppressed=False)
+    assert not result.ok
+
+
+def test_l001_respects_layer_dag():
+    result = lint_sources({
+        "src/repro/cache/buffercache.py": (
+            "from repro.blockdev.device import BlockDevice\n"
+        ),
+        "src/repro/blockdev/device.py": "from repro.disk.drive import Drive\n",
+    })
+    assert result.ok
+
+
+def test_l001_structural_names_allowed_io_device_import_not():
+    ok = lint_sources({
+        "src/repro/ffs/layout.py": (
+            "from repro.blockdev.device import BLOCK_SIZE, BlockDevice\n"
+        ),
+    })
+    assert ok.ok
+    bad = lint_sources({
+        "src/repro/vfs/interface.py": (
+            "from repro.blockdev.device import request_cost\n"
+        ),
+    })
+    assert "L001" in rules_of(bad, suppressed=False)
+
+
+def test_l001_direct_device_io_call_flagged_cache_access_not():
+    bad = lint_sources({
+        "src/repro/core/filesystem.py": (
+            "class FS:\n"
+            "    def read(self, bno):\n"
+            "        return self.cache.device.read_block(bno)\n"
+        ),
+    })
+    assert "L001" in rules_of(bad, suppressed=False)
+    ok = lint_sources({
+        "src/repro/core/filesystem.py": (
+            "class FS:\n"
+            "    def read(self, bno):\n"
+            "        return self.cache.get(bno).data\n"
+        ),
+    })
+    assert ok.ok
+
+
+def test_l001_workloads_must_stay_above_vfs():
+    result = lint_sources({
+        "src/repro/workloads/smallfile.py": (
+            "from repro.vfs.interface import VFS\n"
+            "from repro.cache.buffercache import BufferCache\n"
+        ),
+    })
+    flagged = [f for f in result.unsuppressed if f.rule == "L001"]
+    assert len(flagged) == 1
+    assert "buffercache" in flagged[0].message
+
+
+def test_l001_utility_modules_importable_everywhere():
+    result = lint_sources({
+        "src/repro/disk/drive.py": (
+            "from repro.errors import ReproError\nfrom repro.clock import SimClock\n"
+        ),
+    })
+    assert result.ok
+
+
+# -- D001 determinism ---------------------------------------------------------
+
+
+def test_d001_wall_clock_flagged():
+    result = lint_sources({
+        "src/repro/engine/run.py": (
+            "import time\n\ndef now():\n    return time.time()\n"
+        ),
+    })
+    assert "D001" in rules_of(result, suppressed=False)
+
+
+def test_d001_module_level_random_flagged_seeded_rng_not():
+    bad = lint_sources({
+        "src/repro/workloads/gen.py": (
+            "import random\n\ndef pick():\n    return random.randint(0, 9)\n"
+        ),
+    })
+    assert "D001" in rules_of(bad, suppressed=False)
+    ok = lint_sources({
+        "src/repro/workloads/gen.py": (
+            "import random\n\n"
+            "def make_rng(seed):\n    return random.Random(seed)\n"
+        ),
+    })
+    assert ok.ok
+
+
+def test_d001_datetime_now_flagged():
+    result = lint_sources({
+        "src/repro/analysis/report.py": (
+            "import datetime\n\n"
+            "def stamp():\n    return datetime.datetime.now()\n"
+        ),
+    })
+    assert "D001" in rules_of(result, suppressed=False)
+
+
+def test_d001_simclock_usage_clean():
+    result = lint_sources({
+        "src/repro/engine/run.py": (
+            "from repro.clock import SimClock\n\n"
+            "def now(clock):\n    return clock.now()\n"
+        ),
+    })
+    assert result.ok
+
+
+# -- E001 error taxonomy ------------------------------------------------------
+
+
+def test_e001_bare_except_and_generic_raise_flagged():
+    result = lint_sources({
+        "src/repro/fsck/checker.py": (
+            "def scan():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except:\n"
+            "        raise Exception('boom')\n"
+        ),
+    })
+    findings = [f for f in result.unsuppressed if f.rule == "E001"]
+    assert len(findings) == 2
+
+
+def test_e001_taxonomy_and_contract_errors_clean():
+    result = lint_sources({
+        "src/repro/fsck/checker.py": (
+            "from repro.errors import ReproError\n\n"
+            "def scan(n):\n"
+            "    if n < 0:\n"
+            "        raise ValueError('negative')\n"
+            "    try:\n"
+            "        pass\n"
+            "    except ReproError:\n"
+            "        raise\n"
+        ),
+    })
+    assert result.ok
+
+
+# -- F001 struct formats ------------------------------------------------------
+
+
+def test_count_format_values():
+    assert count_format_values("<IHBB") == 4
+    assert count_format_values("<I 4x H") == 2  # pad bytes consume nothing
+    assert count_format_values("<3I 8s") == 4  # s is one value despite count
+    assert count_format_values("<2H3B") == 5
+
+
+def test_f001_missing_endianness_flagged():
+    result = lint_sources({
+        "src/repro/ffs/layout.py": (
+            "import struct\n\n"
+            "def pack(a, b):\n    return struct.pack('IH', a, b)\n"
+        ),
+    })
+    findings = [f for f in result.unsuppressed if f.rule == "F001"]
+    assert len(findings) == 1
+    assert "byte-order" in findings[0].message
+
+
+def test_f001_arity_mismatch_flagged():
+    result = lint_sources({
+        "src/repro/ffs/layout.py": (
+            "import struct\n\n"
+            "def pack(a):\n    return struct.pack('<IH', a)\n"
+        ),
+    })
+    assert any(
+        f.rule == "F001" and "2 value" in f.message for f in result.unsuppressed
+    )
+
+
+def test_f001_resolves_constant_across_modules():
+    result = lint_sources({
+        "src/repro/ffs/layout.py": (
+            "HEADER_FMT = '<IHBB'\n"
+        ),
+        "src/repro/fsck/checker.py": (
+            "import struct\n"
+            "from repro.ffs.layout import HEADER_FMT\n\n"
+            "def parse(raw):\n"
+            "    a, b = struct.unpack(HEADER_FMT, raw)\n"
+            "    return a, b\n"
+        ),
+    })
+    assert any(
+        f.rule == "F001" and "4 value" in f.message for f in result.unsuppressed
+    )
+
+
+def test_f001_correct_usage_clean():
+    result = lint_sources({
+        "src/repro/ffs/layout.py": (
+            "import struct\n\n"
+            "FMT = '<IHBB'\n"
+            "S = struct.Struct('<2I')\n\n"
+            "def roundtrip(a, b, c, d):\n"
+            "    raw = struct.pack(FMT, a, b, c, d)\n"
+            "    w, x, y, z = struct.unpack(FMT, raw)\n"
+            "    return S.pack(w, x)\n"
+        ),
+    })
+    assert result.ok
+
+
+# -- M001 derived metadata ----------------------------------------------------
+
+
+def test_m001_free_count_mutation_outside_allocator_flagged():
+    result = lint_sources({
+        "src/repro/core/filesystem.py": (
+            "class FS:\n"
+            "    def grab(self):\n"
+            "        self.sb['free_blocks'] -= 1\n"
+        ),
+    })
+    assert "M001" in rules_of(result, suppressed=False)
+
+
+def test_m001_bitmap_call_outside_allocator_flagged():
+    result = lint_sources({
+        "src/repro/vfs/interface.py": (
+            "from repro.ffs.cylgroup import set_bit\n\n"
+            "def claim(bitmap, i):\n    set_bit(bitmap, i)\n"
+        ),
+    })
+    assert any(f.rule == "M001" for f in result.unsuppressed)
+
+
+def test_m001_allocator_and_fsck_may_mutate():
+    result = lint_sources({
+        "src/repro/ffs/alloc.py": (
+            "from repro.ffs.cylgroup import set_bit\n\n"
+            "class Alloc:\n"
+            "    def take(self, bitmap, i):\n"
+            "        set_bit(bitmap, i)\n"
+            "        self.counts['free_blocks'] -= 1\n"
+        ),
+        "src/repro/fsck/repair.py": (
+            "def rebuild(sb, computed):\n"
+            "    sb['free_blocks'] = computed\n"
+        ),
+    })
+    assert result.ok
+
+
+# -- suppression --------------------------------------------------------------
+
+
+def test_same_line_suppression():
+    result = lint_sources({
+        "src/repro/ffs/filesystem.py": (
+            "from repro.disk.drive import Drive  # reprolint: disable=L001\n"
+        ),
+    })
+    assert result.ok
+    assert "L001" in rules_of(result, suppressed=True)
+
+
+def test_comment_line_suppresses_next_line_only():
+    result = lint_sources({
+        "src/repro/ffs/filesystem.py": (
+            "# reprolint: disable=L001\n"
+            "from repro.disk.drive import Drive\n"
+            "from repro.disk.profiles import SEAGATE_ST31200\n"
+        ),
+    })
+    assert len(result.suppressed) == 1
+    assert len(result.unsuppressed) == 1
+
+
+def test_file_wide_suppression():
+    result = lint_sources({
+        "src/repro/ffs/filesystem.py": (
+            "# reprolint: disable-file=L001\n"
+            "from repro.disk.drive import Drive\n"
+            "from repro.disk.profiles import SEAGATE_ST31200\n"
+        ),
+    })
+    assert result.ok
+    assert len(result.suppressed) == 2
+
+
+def test_suppression_is_per_rule():
+    # A D001 directive must not hide an L001 finding on the same line.
+    result = lint_sources({
+        "src/repro/ffs/filesystem.py": (
+            "from repro.disk.drive import Drive  # reprolint: disable=D001\n"
+        ),
+    })
+    assert "L001" in rules_of(result, suppressed=False)
+
+
+# -- reporters ---------------------------------------------------------------
+
+
+def test_text_reporter_format():
+    result = lint_sources({
+        "src/repro/ffs/filesystem.py": "from repro.disk.drive import Drive\n",
+    })
+    text = render_text(result)
+    assert "src/repro/ffs/filesystem.py:1:1: L001" in text
+    assert text.splitlines()[-1] == (
+        "checked 1 file(s), 5 rule(s): 1 finding(s), 0 suppressed"
+    )
+
+
+def test_json_reporter_golden():
+    result = lint_sources(
+        {
+            "src/repro/ffs/filesystem.py": (
+                "from repro.disk.drive import Drive\n"
+            ),
+        },
+        rule_ids=["L001"],
+    )
+    payload = json.loads(render_json(result))
+    assert payload == {
+        "tool": "reprolint",
+        "rules": {
+            "L001": "layering: imports and device I/O must follow the layer DAG"
+        },
+        "files_checked": 1,
+        "findings": [
+            {
+                "rule": "L001",
+                "message": (
+                    "repro.ffs.filesystem imports repro.disk.drive: layer "
+                    "'ffs' may only depend on cache, clock, errors, vfs"
+                ),
+                "path": "src/repro/ffs/filesystem.py",
+                "module": "repro.ffs.filesystem",
+                "line": 1,
+                "col": 1,
+                "suppressed": False,
+            }
+        ],
+        "counts": {"unsuppressed": 1, "suppressed": 0},
+        "ok": False,
+    }
+    # Stable output: serialising twice is byte-identical.
+    assert render_json(result) == render_json(result)
+
+
+def test_lint_error_is_repro_error():
+    assert issubclass(LintError, ReproError)

@@ -1,0 +1,60 @@
+"""The permanent gate: reprolint runs clean over its own source tree.
+
+Any new violation must either be fixed or carry an explanatory
+suppression comment; this test is what CI and local pytest enforce.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.lint import lint_paths
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def test_src_tree_has_no_unsuppressed_findings():
+    result = lint_paths([SRC])
+    assert result.files_checked > 50  # the walk found the real tree
+    offenders = [
+        "%s:%d: %s %s" % (f.path, f.line, f.rule, f.message)
+        for f in result.unsuppressed
+    ]
+    assert not offenders, "unsuppressed lint findings:\n" + "\n".join(offenders)
+
+
+def test_suppressions_are_finite_and_audited():
+    # Suppressions are a budget, not a loophole: if this number climbs,
+    # justify each new entry here and in the suppressing comment.
+    result = lint_paths([SRC])
+    assert len(result.suppressed) <= 15
+
+
+def test_cli_lint_exits_zero_on_clean_tree():
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", SRC],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_cli_lint_exits_nonzero_on_violation(tmp_path):
+    bad = tmp_path / "src" / "repro" / "ffs" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("from repro.disk.drive import Drive\n")
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(bad), "--format", "json"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 1
+    assert '"ok": false' in proc.stdout
