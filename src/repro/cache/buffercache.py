@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, Optional, Set
 
+from repro import obs
 from repro.blockdev.device import BLOCK_SIZE, BlockDevice
 from repro.cache.buffer import Buffer, LogicalId
 from repro.errors import InvalidArgument
@@ -57,10 +58,13 @@ class BufferCache:
         buf = self._phys.get(bno)
         if buf is not None:
             self.hits += 1
+            obs.incr("cache.hits")
             self._phys.move_to_end(bno)
         else:
             self.misses += 1
-            data = self.device.read_block(bno)
+            obs.incr("cache.misses")
+            with obs.span("cache", "miss", bno=bno):
+                data = self.device.read_block(bno)
             buf = Buffer(bno, data)
             self._insert(buf)
         if logical is not None and buf.logical != logical:
@@ -127,8 +131,11 @@ class BufferCache:
         """Write every dirty buffer (batched, C-LOOK); returns request count."""
         if not self._dirty:
             return 0
-        writes = {bno: bytes(self._phys[bno].data) for bno in self._dirty}
-        nreq = self.device.write_batch(writes)
+        with obs.span("cache", "flush") as sp:
+            writes = {bno: bytes(self._phys[bno].data) for bno in self._dirty}
+            nreq = self.device.write_batch(writes)
+            sp.incr("blocks", len(writes))
+            sp.incr("requests", nreq)
         for bno in writes:
             self._phys[bno].dirty = False
         self._dirty.clear()
@@ -143,7 +150,10 @@ class BufferCache:
                 writes[bno] = bytes(buf.data)
         if not writes:
             return 0
-        nreq = self.device.write_batch(writes)
+        with obs.span("cache", "flush_blocks") as sp:
+            nreq = self.device.write_batch(writes)
+            sp.incr("blocks", len(writes))
+            sp.incr("requests", nreq)
         for bno in writes:
             self._phys[bno].dirty = False
             self._dirty.discard(bno)
@@ -214,7 +224,9 @@ class BufferCache:
                 buf = self._phys.get(bno)
                 if buf is not None and buf.dirty:
                     writes[bno] = bytes(buf.data)
-            self.device.write_batch(writes)
+            with obs.span("cache", "evict_writeback", victim=victim_bno) as sp:
+                sp.incr("blocks", len(writes))
+                self.device.write_batch(writes)
             for bno in writes:
                 self._phys[bno].dirty = False
                 self._dirty.discard(bno)

@@ -16,6 +16,7 @@
     python -m repro info site.img
     python -m repro bench --files 2000               # small-file benchmark
     python -m repro multiclient --clients 8 --fs cffs  # concurrency engine
+    python -m repro trace --workload smallfile --format chrome  # span export
 
 Images are sparse compressed snapshots of the simulated disk; the drive
 profile (and therefore the timing model) travels inside the image.
@@ -220,7 +221,26 @@ def cmd_faultsim(args) -> int:
     return 0 if all(r.all_recovered for r in results) else 1
 
 
+#: Default export file name per trace format.
+TRACE_DEFAULT_OUT = {
+    "chrome": "trace.json",
+    "jsonl": "trace.jsonl",
+    "flame": "trace.flame.txt",
+}
+
+
+def _write_trace(tracer, path: str, fmt: str,
+                 metrics_path: Optional[str] = None) -> None:
+    from repro.obs.export import write_export
+
+    write_export(tracer, path, fmt, metrics_path=metrics_path)
+    print("trace: %d spans -> %s (%s)" % (len(tracer.spans), path, fmt))
+    if metrics_path:
+        print("metrics snapshot -> %s" % metrics_path)
+
+
 def cmd_bench(args) -> int:
+    from repro import obs
     from repro.workloads import build_filesystem, run_smallfile
 
     policy = (MetadataPolicy.DELAYED_METADATA if args.softdep
@@ -228,12 +248,29 @@ def cmd_bench(args) -> int:
     print("small-file benchmark: %d x %d B files, %s metadata" % (
         args.files, args.size, policy.value,
     ))
-    for label in args.configs.split(","):
-        fs = build_filesystem(label.strip(), policy)
-        result = run_smallfile(fs, n_files=args.files, file_size=args.size)
-        row = "  ".join("%s %7.1f/s" % (p, r.files_per_second)
-                        for p, r in result.phases.items())
-        print("%-14s %s" % (label.strip(), row))
+    tracer = obs.Tracer() if args.trace else None
+    try:
+        for label in args.configs.split(","):
+            fs = build_filesystem(label.strip(), policy)
+            if tracer is not None:
+                # Each config gets a fresh simulation (its own clock);
+                # a root span per config keeps the stacks separable.
+                tracer.clock = fs.cache.device.clock
+                obs.install(tracer)
+                with tracer.span("bench", label.strip()):
+                    result = run_smallfile(fs, n_files=args.files,
+                                           file_size=args.size)
+            else:
+                result = run_smallfile(fs, n_files=args.files,
+                                       file_size=args.size)
+            row = "  ".join("%s %7.1f/s" % (p, r.files_per_second)
+                            for p, r in result.phases.items())
+            print("%-14s %s" % (label.strip(), row))
+    finally:
+        if tracer is not None:
+            obs.uninstall()
+    if tracer is not None:
+        _write_trace(tracer, args.trace, args.trace_format)
     return 0
 
 
@@ -246,6 +283,11 @@ def cmd_multiclient(args) -> int:
         print("unknown scheduler %r; known: %s"
               % (args.scheduler, ", ".join(SCHEDULERS)), file=sys.stderr)
         return 2
+    tracer = None
+    if args.trace:
+        from repro import obs
+
+        tracer = obs.Tracer()
     result = run_multiclient(
         label=args.fs,
         n_clients=args.clients,
@@ -255,8 +297,48 @@ def cmd_multiclient(args) -> int:
         scheduler=args.scheduler,
         policy=policy,
         workload=args.workload,
+        tracer=tracer,
     )
     print(render_multiclient(result))
+    if tracer is not None:
+        _write_trace(tracer, args.trace, args.trace_format)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro import obs
+    from repro.engine.multiclient import resolve_label
+    from repro.workloads import build_filesystem, run_smallfile
+    from repro.workloads.hypertext import build_site, serve_documents
+    from repro.workloads.postmark import PostmarkConfig, run_postmark
+
+    policy = (MetadataPolicy.DELAYED_METADATA if args.softdep
+              else MetadataPolicy.SYNC_METADATA)
+    fs = build_filesystem(resolve_label(args.fs), policy)
+    # Share the disk's registry so the --metrics snapshot carries the
+    # drive counters and request-size histogram alongside trace counts.
+    tracer = obs.Tracer(clock=fs.cache.device.clock,
+                        registry=fs.cache.device.disk.stats.registry)
+    obs.install(tracer)
+    try:
+        with tracer.span("run", args.workload, fs=args.fs,
+                         files=args.files):
+            if args.workload == "smallfile":
+                run_smallfile(fs, n_files=args.files, file_size=args.size)
+            elif args.workload == "postmark":
+                run_postmark(fs, PostmarkConfig(
+                    n_files=args.files, n_transactions=2 * args.files,
+                    seed=args.seed))
+            else:
+                documents = build_site(fs, n_documents=args.files,
+                                       seed=args.seed)
+                serve_documents(fs, documents, order_seed=args.seed)
+    finally:
+        obs.uninstall()
+    out = args.out if args.out else TRACE_DEFAULT_OUT[args.format]
+    print("traced %s on %s: %.3f simulated seconds" % (
+        args.workload, args.fs, fs.cache.device.clock.now))
+    _write_trace(tracer, out, args.format, metrics_path=args.metrics)
     return 0
 
 
@@ -366,6 +448,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--phases", default="create,read",
                    help="smallfile phases to run (comma-separated)")
     p.add_argument("--softdep", action="store_true")
+    p.add_argument("--trace", metavar="PATH",
+                   help="record spans during the run and export them here")
+    p.add_argument("--trace-format", choices=("chrome", "jsonl", "flame"),
+                   default="chrome")
     p.set_defaults(func=cmd_multiclient)
 
     p = sub.add_parser(
@@ -385,7 +471,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=1024)
     p.add_argument("--configs", default="conventional,cffs")
     p.add_argument("--softdep", action="store_true")
+    p.add_argument("--trace", metavar="PATH",
+                   help="record spans during the run and export them here")
+    p.add_argument("--trace-format", choices=("chrome", "jsonl", "flame"),
+                   default="chrome")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a workload with tracing on and export the spans")
+    p.add_argument("--workload",
+                   choices=("smallfile", "postmark", "hypertext"),
+                   default="smallfile")
+    p.add_argument("--fs", default="cffs",
+                   help="ffs, conventional, embedded, grouping or cffs")
+    p.add_argument("--files", type=int, default=200,
+                   help="files (or documents) the workload touches")
+    p.add_argument("--size", type=int, default=1024,
+                   help="file size for smallfile")
+    p.add_argument("--format", choices=("chrome", "jsonl", "flame"),
+                   default="chrome")
+    p.add_argument("--out", metavar="PATH",
+                   help="output path (default: trace.<format extension>)")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="also write a metrics-registry snapshot JSON here")
+    p.add_argument("--seed", type=int, default=1997)
+    p.add_argument("--softdep", action="store_true")
+    p.set_defaults(func=cmd_trace)
 
     return parser
 

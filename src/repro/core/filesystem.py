@@ -26,6 +26,7 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.blockdev.device import BLOCK_SIZE, BlockDevice
 from repro.cache.buffercache import BufferCache
 from repro.cache.policy import MetadataPolicy
@@ -652,7 +653,8 @@ class CFFS(BlockFileSystem):
             # The paper's key mechanism: a grouped extent is fetched as
             # one large request for bandwidth, then installed block-by-
             # block into the cache (which remains the source of truth).
-            data = self.cache.device.read_extent(start, count)  # reprolint: disable=L001
+            with obs.span("fs", "group_fetch", extent=ext, blocks=count):
+                data = self.cache.device.read_extent(start, count)  # reprolint: disable=L001
             base = self.groups.extent_base(ext)
             for slot in range(self.config.group_span):
                 if not desc["valid_mask"] & (1 << slot):
@@ -860,6 +862,11 @@ class CFFS(BlockFileSystem):
         return FileKind.DIRECTORY if handle.is_dir else FileKind.FILE
 
     def _lookup(self, dirh: CNode, name: str) -> CNode:
+        with obs.span("fs", "lookup", name=name,
+                      embedded=self.config.embedded_inodes):
+            return self._lookup_entry(dirh, name)
+
+    def _lookup_entry(self, dirh: CNode, name: str) -> CNode:
         info = self._find_entry(dirh, name)
         if info is None:
             raise FileNotFound("no entry %r in directory %d" % (name, dirh.fileid))
@@ -900,6 +907,11 @@ class CFFS(BlockFileSystem):
         return node
 
     def _create_node(self, dirh: CNode, name: str, mode: int, kind: int) -> CNode:
+        with obs.span("fs", "create_node", name=name,
+                      embedded=self.config.embedded_inodes):
+            return self._create_node_entry(dirh, name, mode, kind)
+
+    def _create_node_entry(self, dirh: CNode, name: str, mode: int, kind: int) -> CNode:
         index = self._complete_index(dirh)
         if name in index.names:
             raise FileExists("%r already exists" % name)
@@ -923,6 +935,11 @@ class CFFS(BlockFileSystem):
         return node
 
     def _unlink(self, dirh: CNode, name: str) -> None:
+        with obs.span("fs", "unlink_node", name=name,
+                      embedded=self.config.embedded_inodes):
+            self._unlink_entry(dirh, name)
+
+    def _unlink_entry(self, dirh: CNode, name: str) -> None:
         info = self._find_entry(dirh, name)
         if info is None:
             raise FileNotFound("no entry %r" % name)

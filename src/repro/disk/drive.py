@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import obs
 from repro.clock import SimClock
 from repro.disk.cache import ReadCache, WriteBuffer
 from repro.disk.geometry import SECTOR_SIZE
@@ -181,6 +182,10 @@ class SimulatedDisk:
 
     def _log(self, op: str, lba: int, nsectors: int, issue: float,
              completion: float, source: str) -> None:
+        # Every host-visible request passes through here once; the
+        # trace span and the optional request log see the same stream.
+        obs.record("disk", op, issue, completion,
+                   lba=lba, nsectors=nsectors, source=source)
         if self.request_log is not None:
             self.request_log.append(RequestRecord(
                 op=op, lba=lba, nsectors=nsectors,

@@ -1,15 +1,43 @@
-"""Per-drive statistics.
+"""Per-drive statistics, backed by the observability metrics registry.
 
 Every experiment in the paper is ultimately explained by request counts
 and where the time went (positioning vs. transfer), so the drive keeps
 both.  The "order of magnitude fewer disk accesses" claim is checked
 directly against these counters.
+
+Since the observability subsystem landed, the counters live in a
+:class:`~repro.obs.metrics.MetricsRegistry` under ``disk.*`` names; the
+attribute API below (``stats.reads``, ``stats.seek_time += x``) is a
+thin read/write view over the registry values, so existing callers and
+the snapshot/delta discipline are unchanged while ``repro trace`` can
+pull the same numbers as a metrics snapshot.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Integer request/sector counters, in declaration order.
+_COUNT_FIELDS = (
+    "reads", "writes", "sectors_read", "sectors_written",
+    "cache_hits", "write_absorbed",
+)
+
+#: Simulated-seconds accumulators.
+_TIME_FIELDS = (
+    "seek_time", "rotation_time", "transfer_time",
+    "overhead_time", "bus_time", "stall_time",
+)
+
+_FIELDS = _COUNT_FIELDS + _TIME_FIELDS
+
+#: Bucket bounds (sectors) for the request-size histogram the registry
+#: keeps alongside the exact ``request_sizes`` dict: one block, the
+#: paper's 16-block group span, and powers of two between and beyond.
+REQUEST_SIZE_BUCKETS = (8, 16, 32, 64, 128, 256, 512)
 
 
 @dataclass(frozen=True)
@@ -28,23 +56,30 @@ class RequestRecord:
         return self.completion - self.issue
 
 
-@dataclass
+def _registry_field(name: str):
+    metric = "disk." + name
+
+    def get(self: "DiskStats") -> float:
+        return self.registry.counter(metric).value
+
+    def set_(self: "DiskStats", value: float) -> None:
+        self.registry.counter(metric).set(value)
+
+    return property(get, set_)
+
+
 class DiskStats:
     """Counters accumulated by a :class:`~repro.disk.drive.SimulatedDisk`."""
 
-    reads: int = 0
-    writes: int = 0
-    sectors_read: int = 0
-    sectors_written: int = 0
-    cache_hits: int = 0          # read requests served from on-board cache
-    write_absorbed: int = 0      # writes absorbed by the write-behind buffer
-    seek_time: float = 0.0
-    rotation_time: float = 0.0
-    transfer_time: float = 0.0
-    overhead_time: float = 0.0
-    bus_time: float = 0.0
-    stall_time: float = 0.0      # host stalls waiting for write-buffer space
-    request_sizes: Dict[int, int] = field(default_factory=dict)
+    def __init__(self, registry: MetricsRegistry = None, **values: float) -> None:
+        unknown = set(values) - set(_FIELDS)
+        if unknown:
+            raise TypeError("unknown DiskStats fields: %s" % ", ".join(sorted(unknown)))
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name in _FIELDS:
+            self.registry.counter("disk." + name).set(values.get(name, 0))
+        self.registry.histogram("disk.request_sectors", REQUEST_SIZE_BUCKETS)
+        self.request_sizes: Dict[int, int] = {}
 
     @property
     def total_requests(self) -> int:
@@ -69,43 +104,21 @@ class DiskStats:
         else:
             self.reads += 1
             self.sectors_read += nsectors
+        self.registry.histogram("disk.request_sectors").observe(nsectors)
         self.request_sizes[nsectors] = self.request_sizes.get(nsectors, 0) + 1
 
     def snapshot(self) -> "DiskStats":
         """A copy, so callers can diff before/after a benchmark phase."""
-        copy = DiskStats(
-            reads=self.reads,
-            writes=self.writes,
-            sectors_read=self.sectors_read,
-            sectors_written=self.sectors_written,
-            cache_hits=self.cache_hits,
-            write_absorbed=self.write_absorbed,
-            seek_time=self.seek_time,
-            rotation_time=self.rotation_time,
-            transfer_time=self.transfer_time,
-            overhead_time=self.overhead_time,
-            bus_time=self.bus_time,
-            stall_time=self.stall_time,
-        )
+        copy = DiskStats(**{name: getattr(self, name) for name in _FIELDS})
         copy.request_sizes = dict(self.request_sizes)
         return copy
 
     def delta(self, earlier: "DiskStats") -> "DiskStats":
         """Counters accumulated since ``earlier`` (a prior snapshot)."""
-        out = DiskStats(
-            reads=self.reads - earlier.reads,
-            writes=self.writes - earlier.writes,
-            sectors_read=self.sectors_read - earlier.sectors_read,
-            sectors_written=self.sectors_written - earlier.sectors_written,
-            cache_hits=self.cache_hits - earlier.cache_hits,
-            write_absorbed=self.write_absorbed - earlier.write_absorbed,
-            seek_time=self.seek_time - earlier.seek_time,
-            rotation_time=self.rotation_time - earlier.rotation_time,
-            transfer_time=self.transfer_time - earlier.transfer_time,
-            overhead_time=self.overhead_time - earlier.overhead_time,
-            bus_time=self.bus_time - earlier.bus_time,
-            stall_time=self.stall_time - earlier.stall_time,
-        )
+        out = DiskStats(**{
+            name: getattr(self, name) - getattr(earlier, name)
+            for name in _FIELDS
+        })
         sizes: Dict[int, int] = {}
         for size, count in self.request_sizes.items():
             diff = count - earlier.request_sizes.get(size, 0)
@@ -114,5 +127,19 @@ class DiskStats:
         out.request_sizes = sizes
         return out
 
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The registry view (``disk.*`` names), for trace/metrics dumps."""
+        return self.registry.snapshot()
+
     def reset(self) -> None:
-        self.__init__()  # type: ignore[misc]
+        self.registry.reset()
+        self.request_sizes = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "DiskStats(%s)" % ", ".join(
+            "%s=%r" % (name, getattr(self, name)) for name in _FIELDS)
+
+
+for _name in _FIELDS:
+    setattr(DiskStats, _name, _registry_field(_name))
+del _name

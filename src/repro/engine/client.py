@@ -31,9 +31,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.blockdev.device import BLOCK_SIZE, SECTORS_PER_BLOCK, BlockDevice
 from repro.blockdev.scheduler import clook_order, coalesce_blocks
 from repro.clock import SimClock
+from repro.obs.metrics import MetricsRegistry
 from repro.engine.diskqueue import DiskQueue, QueuedRequest
 from repro.engine.eventloop import EventLoop
 from repro.errors import InvalidArgument
@@ -171,20 +173,47 @@ class OpRecord:
         return self.end - self.start
 
 
+#: Per-operation latency buckets (milliseconds) for the registry
+#: histogram each client feeds; spans the fully-cached to the heavily
+#: queued regime.
+LATENCY_BUCKETS_MS = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0)
+
+#: ClientContext accounting fields backed by the engine's registry.
+_CLIENT_FIELDS = ("cpu_seconds", "queue_delay", "reads", "writes",
+                  "retries", "io_errors")
+
+
+def _client_metric(field: str):
+    def get(self: "ClientContext") -> float:
+        return self._registry.counter(self._prefix + field).value
+
+    def set_(self: "ClientContext", value: float) -> None:
+        self._registry.counter(self._prefix + field).set(value)
+
+    return property(get, set_)
+
+
 class ClientContext:
-    """One simulated process: a scripted stream of file operations."""
+    """One simulated process: a scripted stream of file operations.
+
+    Accounting lives in the engine's metrics registry under
+    ``engine.<client>.*`` names; the attributes below (``reads``,
+    ``cpu_seconds``, ...) are thin read/write views of those registry
+    values, so ``repro multiclient --trace`` exports the same numbers
+    the report tables print.
+    """
 
     def __init__(self, engine: "Engine", cid: int, name: str) -> None:
         self.engine = engine
         self.cid = cid
         self.name = name
         self.records: List[OpRecord] = []
-        self.cpu_seconds = 0.0
-        self.queue_delay = 0.0
-        self.reads = 0
-        self.writes = 0
-        self.retries = 0
-        self.io_errors = 0
+        self._registry = engine.metrics
+        self._prefix = "engine.%s." % name
+        for field_name in _CLIENT_FIELDS:
+            self._registry.counter(self._prefix + field_name)
+        self._latency_ms = self._registry.histogram(
+            self._prefix + "latency_ms", LATENCY_BUCKETS_MS)
         self.finished_at: Optional[float] = None
 
     def latencies(self, phase: Optional[str] = None) -> List[float]:
@@ -228,6 +257,7 @@ class ClientContext:
             self.retries += op_retries
             if error is not None:
                 self.io_errors += 1
+            self._latency_ms.observe((loop.now - start) * 1e3)
             self.records.append(OpRecord(
                 phase=phase, label=label, client=self.cid,
                 start=start, end=loop.now,
@@ -235,6 +265,11 @@ class ClientContext:
                 cpu_seconds=cap.cpu_total,
                 retries=op_retries, error=error,
             ))
+
+
+for _field in _CLIENT_FIELDS:
+    setattr(ClientContext, _field, _client_metric(_field))
+del _field
 
 
 class Engine:
@@ -252,12 +287,14 @@ class Engine:
     def __init__(self, fs: FileSystem, scheduler: str = "clook",
                  loop: Optional[EventLoop] = None,
                  faults: Optional["FaultSchedule"] = None,
-                 retry: Optional["RetryPolicy"] = None) -> None:
+                 retry: Optional["RetryPolicy"] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.fs = fs
         self.device = fs.cache.device
         if not isinstance(self.device, BlockDevice):
             raise InvalidArgument("engine needs a file system over a BlockDevice")
         self.loop = loop if loop is not None else EventLoop()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         # The device clock (mkfs may have advanced it) and the loop
         # clock meet at the later of the two.
         self.loop.clock.advance_to(self.device.clock.now)
@@ -318,11 +355,20 @@ class Engine:
         saved_cpu_clock = fs.cpu.clock
         fs.cache.device = proxy  # type: ignore[assignment]
         fs.cpu.clock = scratch
+        # Span timestamps must follow the clock the captured operation
+        # actually charges, so vfs/fs/cache spans land at loop-anchored
+        # times instead of freezing at the tracer's idea of "now".
+        tracer = obs.active()
+        saved_tracer_clock = tracer.clock if tracer is not None else None
+        if tracer is not None:
+            tracer.clock = scratch
         try:
             fn(fs)
         finally:
             fs.cache.device = self.device
             fs.cpu.clock = saved_cpu_clock
+            if tracer is not None:
+                tracer.clock = saved_tracer_clock
         return proxy.finish()
 
     # -- generator driving ---------------------------------------------------------

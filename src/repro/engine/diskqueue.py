@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.blockdev.scheduler import clook_next, sstf_next
 from repro.disk.drive import SimulatedDisk
 from repro.engine.eventloop import EventLoop
@@ -263,6 +264,15 @@ class DiskQueue:
     def _complete(self, req: QueuedRequest) -> None:
         req.complete_time = self.loop.now
         self.stats.completed += 1
+        # One queue-layer span per request, covering the client-visible
+        # submit -> complete interval (service time + queueing delay).
+        obs.record("queue", req.op, req.submit_time, req.complete_time,
+                   client=req.client, lba=req.lba, nsectors=req.nsectors,
+                   queue_delay=req.queue_delay, retries=req.retries,
+                   error=req.error)
+        obs.count("queue.completed")
+        if req.error is not None:
+            obs.count("queue.failed")
         if self._first_submit is not None:
             self.stats.span = req.complete_time - self._first_submit
         self._busy = False

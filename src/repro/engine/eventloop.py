@@ -19,6 +19,7 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Tuple
 
+from repro import obs
 from repro.clock import SimClock
 from repro.errors import InvalidArgument
 
@@ -71,5 +72,6 @@ class EventLoop:
             when, _seq, callback, args = heapq.heappop(self._heap)
             self.clock.advance_to(when)
             self.events_run += 1
+            obs.count("engine.events")
             callback(*args)
         return self.clock.now

@@ -16,10 +16,12 @@ as the ``ffs`` label.
 
 from __future__ import annotations
 
+import contextlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis.metrics import (
     LatencySummary,
     jain_fairness,
@@ -144,6 +146,7 @@ def run_multiclient(
     seed: int = 1997,
     faults: Optional[FaultSchedule] = None,
     retry: Optional[RetryPolicy] = None,
+    tracer: Optional[obs.Tracer] = None,
 ) -> MultiClientResult:
     """Run ``n_clients`` concurrent clients over one shared file system.
 
@@ -163,99 +166,115 @@ def run_multiclient(
         raise InvalidArgument(
             "need at least one file per client, got %d" % files_per_client)
     fs = build_filesystem(resolve_label(label), policy, profile)
-    engine = Engine(fs, scheduler=scheduler, faults=faults, retry=retry)
-    clients = [engine.add_client() for _ in range(n_clients)]
-    dirs = {client: "/mc/%s" % client.name for client in clients}
+    if tracer is not None:
+        # Trace the whole run: spans stamp from the device clock during
+        # lock-step sections (capture rebinds to its scratch clock), and
+        # the engine's per-client accounting lands in the tracer's
+        # registry so one export carries both.
+        tracer.clock = fs.cache.device.clock
+        obs.install(tracer)
+    try:
+        engine = Engine(fs, scheduler=scheduler, faults=faults, retry=retry,
+                        metrics=tracer.registry if tracer is not None else None)
+        clients = [engine.add_client() for _ in range(n_clients)]
+        dirs = {client: "/mc/%s" % client.name for client in clients}
 
-    documents: Dict[ClientContext, List[Document]] = {}
+        documents: Dict[ClientContext, List[Document]] = {}
 
-    def setup(f):
-        f.mkdir("/mc")
-        for d in dirs.values():
-            f.mkdir(d)
-        if workload == "hypertext":
-            for i, client in enumerate(clients):
-                documents[client] = _build_client_site(
-                    f, dirs[client], files_per_client, seed + i)
-        f.sync()
-        f.drop_caches()
+        def setup(f):
+            f.mkdir("/mc")
+            for d in dirs.values():
+                f.mkdir(d)
+            if workload == "hypertext":
+                for i, client in enumerate(clients):
+                    documents[client] = _build_client_site(
+                        f, dirs[client], files_per_client, seed + i)
+            f.sync()
+            f.drop_caches()
 
-    engine.run_sync(setup)
+        engine.run_sync(setup)
 
-    if workload == "smallfile":
-        phase_list = list(phases)
-        paths = {client: smallfile_paths(dirs[client], files_per_client)
-                 for client in clients}
+        if workload == "smallfile":
+            phase_list = list(phases)
+            paths = {client: smallfile_paths(dirs[client], files_per_client)
+                     for client in clients}
 
-        def ops_for(client, phase):
-            return smallfile_ops(paths[client], file_size, phase)
-    elif workload == "postmark":
-        phase_list = ["churn"]
-        scripts = {client: postmark_ops(
-            dirs[client], n_files=files_per_client,
-            n_transactions=2 * files_per_client, seed=seed + client.cid)
-            for client in clients}
+            def ops_for(client, phase):
+                return smallfile_ops(paths[client], file_size, phase)
+        elif workload == "postmark":
+            phase_list = ["churn"]
+            scripts = {client: postmark_ops(
+                dirs[client], n_files=files_per_client,
+                n_transactions=2 * files_per_client, seed=seed + client.cid)
+                for client in clients}
 
-        def ops_for(client, phase):
-            return scripts[client]
-    else:  # hypertext
-        phase_list = ["serve"]
+            def ops_for(client, phase):
+                return scripts[client]
+        else:  # hypertext
+            phase_list = ["serve"]
 
-        def ops_for(client, phase):
-            return hypertext_serve_ops(documents[client],
-                                       order_seed=seed + client.cid)
+            def ops_for(client, phase):
+                return hypertext_serve_ops(documents[client],
+                                           order_seed=seed + client.cid)
 
-    result = MultiClientResult(label=label, n_clients=n_clients,
-                               scheduler=scheduler, workload=workload)
-    for index, phase in enumerate(phase_list):
-        queue_before = engine.queue.stats.snapshot()
-        start = engine.now
-        engine.run_phase({client: ops_for(client, phase) for client in clients},
-                         phase)
-        engine.run_sync(lambda f: f.sync())
-        seconds = engine.now - start
-        queue_delta = engine.queue.stats.delta(queue_before)
+        result = MultiClientResult(label=label, n_clients=n_clients,
+                                   scheduler=scheduler, workload=workload)
+        for index, phase in enumerate(phase_list):
+            queue_before = engine.queue.stats.snapshot()
+            start = engine.now
+            phase_ctx = (tracer.context(phase=phase) if tracer is not None
+                         else contextlib.nullcontext())
+            with phase_ctx:
+                engine.run_phase(
+                    {client: ops_for(client, phase) for client in clients},
+                    phase)
+            engine.run_sync(lambda f: f.sync())
+            seconds = engine.now - start
+            queue_delta = engine.queue.stats.delta(queue_before)
 
-        summaries: List[ClientSummary] = []
-        rates: List[float] = []
-        all_latencies: List[float] = []
-        total_ops = 0
-        for client in clients:
-            records = [r for r in client.records if r.phase == phase]
-            latencies = [r.latency for r in records]
-            all_latencies.extend(latencies)
-            total_ops += len(records)
-            finish = max((r.end for r in records), default=start)
-            span = finish - start
-            rate = len(records) / span if span > 0 else float("inf")
-            rates.append(rate)
-            summaries.append(ClientSummary(
-                client=client.name,
-                n_ops=len(records),
-                ops_per_second=rate,
-                cpu_seconds=sum(r.cpu_seconds for r in records),
-                queue_delay=sum(r.queue_delay for r in records),
-                n_requests=sum(r.n_requests for r in records),
-                latency=summarize_latencies(latencies),
-                retries=sum(r.retries for r in records),
-                io_errors=sum(1 for r in records if r.error is not None),
-            ))
-        result.phases[phase] = PhaseReport(
-            phase=phase,
-            seconds=seconds,
-            n_ops=total_ops,
-            latency=summarize_latencies(all_latencies),
-            per_client=summaries,
-            mean_queue_depth=(queue_delta.depth_area / seconds
-                              if seconds > 0 else 0.0),
-            mean_queue_delay=queue_delta.mean_queue_delay,
-            fairness=jain_fairness(rates),
-            retried=queue_delta.retried,
-            failed=queue_delta.failed,
-        )
-        if index + 1 < len(phase_list):
-            engine.run_sync(lambda f: f.drop_caches())
-    return result
+            summaries: List[ClientSummary] = []
+            rates: List[float] = []
+            all_latencies: List[float] = []
+            total_ops = 0
+            for client in clients:
+                records = [r for r in client.records if r.phase == phase]
+                latencies = [r.latency for r in records]
+                all_latencies.extend(latencies)
+                total_ops += len(records)
+                finish = max((r.end for r in records), default=start)
+                span = finish - start
+                rate = len(records) / span if span > 0 else float("inf")
+                rates.append(rate)
+                summaries.append(ClientSummary(
+                    client=client.name,
+                    n_ops=len(records),
+                    ops_per_second=rate,
+                    cpu_seconds=sum(r.cpu_seconds for r in records),
+                    queue_delay=sum(r.queue_delay for r in records),
+                    n_requests=sum(r.n_requests for r in records),
+                    latency=summarize_latencies(latencies),
+                    retries=sum(r.retries for r in records),
+                    io_errors=sum(1 for r in records if r.error is not None),
+                ))
+            result.phases[phase] = PhaseReport(
+                phase=phase,
+                seconds=seconds,
+                n_ops=total_ops,
+                latency=summarize_latencies(all_latencies),
+                per_client=summaries,
+                mean_queue_depth=(queue_delta.depth_area / seconds
+                                  if seconds > 0 else 0.0),
+                mean_queue_delay=queue_delta.mean_queue_delay,
+                fairness=jain_fairness(rates),
+                retried=queue_delta.retried,
+                failed=queue_delta.failed,
+            )
+            if index + 1 < len(phase_list):
+                engine.run_sync(lambda f: f.drop_caches())
+        return result
+    finally:
+        if tracer is not None and obs.active() is tracer:
+            obs.uninstall()
 
 
 def render_multiclient(result: MultiClientResult) -> str:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.blockdev.device import BLOCK_SIZE, BlockDevice
 from repro.cache.buffercache import BufferCache
 from repro.cache.policy import MetadataPolicy
@@ -218,7 +219,10 @@ class FFS(BlockFileSystem):
         inode = self._icache.get(inum)
         if inode is None:
             bno, slot = self._inode_location(inum)
-            buf = self.cache.get(bno)
+            # The static inode-table fetch: the per-file metadata request
+            # embedded inodes eliminate (visible as fs.inode_fetch spans).
+            with obs.span("fs", "inode_fetch", inum=inum):
+                buf = self.cache.get(bno)
             raw = bytes(buf.data[slot * layout.INODE_SIZE:(slot + 1) * layout.INODE_SIZE])
             inode = Inode.unpack(inum, raw)
             self._icache[inum] = inode
@@ -397,23 +401,26 @@ class FFS(BlockFileSystem):
         return FileKind.DIRECTORY if handle.is_dir else FileKind.FILE
 
     def _lookup(self, dirh: Inode, name: str) -> Inode:
-        entry = self._find_entry(dirh, name)
-        if entry is None:
-            raise FileNotFound("no entry %r in directory %d" % (name, dirh.inum))
-        return self._iget(entry[0])
+        with obs.span("fs", "lookup", name=name, embedded=False):
+            entry = self._find_entry(dirh, name)
+            if entry is None:
+                raise FileNotFound("no entry %r in directory %d" % (name, dirh.inum))
+            return self._iget(entry[0])
 
     def _create_file(self, dirh: Inode, name: str) -> Inode:
-        index = self._complete_index(dirh)
-        if name in index.names:
-            raise FileExists("%r already exists" % name)
-        inum = self.alloc.alloc_inode(self.cg_of_inum(dirh.inum))
-        inode = Inode(inum)
-        inode.init_as(layout.MODE_FILE, gen=self._next_gen(), mtime=self.device.clock.now)
-        self._icache[inum] = inode
-        # Ordering: initialized inode reaches disk before the name.
-        self._istore_inode(inode, sync=True)
-        self._dir_add_entry(dirh, name, inum, layout.DT_FILE)
-        return inode
+        with obs.span("fs", "create_node", name=name, embedded=False):
+            index = self._complete_index(dirh)
+            if name in index.names:
+                raise FileExists("%r already exists" % name)
+            inum = self.alloc.alloc_inode(self.cg_of_inum(dirh.inum))
+            inode = Inode(inum)
+            inode.init_as(layout.MODE_FILE, gen=self._next_gen(),
+                          mtime=self.device.clock.now)
+            self._icache[inum] = inode
+            # Ordering: initialized inode reaches disk before the name.
+            self._istore_inode(inode, sync=True)
+            self._dir_add_entry(dirh, name, inum, layout.DT_FILE)
+            return inode
 
     def _make_directory(self, dirh: Inode, name: str) -> Inode:
         index = self._complete_index(dirh)
@@ -428,6 +435,10 @@ class FFS(BlockFileSystem):
         return inode
 
     def _unlink(self, dirh: Inode, name: str) -> None:
+        with obs.span("fs", "unlink_node", name=name, embedded=False):
+            self._unlink_entry(dirh, name)
+
+    def _unlink_entry(self, dirh: Inode, name: str) -> None:
         entry = self._find_entry(dirh, name)
         if entry is None:
             raise FileNotFound("no entry %r" % name)

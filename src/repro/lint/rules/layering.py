@@ -18,6 +18,11 @@ cache, so nothing above it may talk to the device behind its back):
 * only ``faults`` and ``engine`` may wrap the device (retry proxies,
   queued scheduling).
 
+``errors``, ``clock`` and ``obs`` are utility leaves: importable from
+every layer, themselves importing nothing above the leaves (``obs``
+may see ``clock`` and ``errors`` only — observability must not create
+back-edges).
+
 The rule also flags direct device-I/O *calls* (``...device.read_block``
 and friends) in the file-system layers, which an import check alone
 would miss when the device object arrives through the cache.
@@ -30,11 +35,15 @@ from typing import Dict, FrozenSet, Iterator
 
 from repro.lint.core import Finding, LintModule, Rule, iter_imported_repro_modules
 
-# Utility leaves importable from anywhere.
-UTILITY: FrozenSet[str] = frozenset({"errors", "clock"})
+# Utility leaves importable from anywhere.  ``obs`` is the cross-layer
+# observability seam: every layer may emit spans and counters through
+# it, but it must stay a leaf itself (clock and errors only) or the
+# tracing instrumentation would re-introduce the very cycles L001 bans.
+UTILITY: FrozenSet[str] = frozenset({"errors", "clock", "obs"})
 
 # Allowed repro subpackage dependencies (self and UTILITY are implicit).
 LAYER_DAG: Dict[str, FrozenSet[str]] = {
+    "obs": frozenset(),
     "disk": frozenset(),
     "blockdev": frozenset({"disk"}),
     "cache": frozenset({"blockdev"}),

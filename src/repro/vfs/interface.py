@@ -11,6 +11,7 @@ from __future__ import annotations
 import abc
 from typing import Any, List
 
+from repro import obs
 from repro.clock import CpuModel
 from repro.cache.buffercache import BufferCache
 from repro.errors import (
@@ -45,72 +46,79 @@ class FileSystem(abc.ABC):
 
     def create(self, path: str) -> None:
         """Create an empty regular file."""
-        self.cpu.charge_syscall()
-        parents, name = basename_of(path)
-        dirh = self._walk(parents)
-        self._create_file(dirh, name)
+        with obs.span("vfs", "create", path=path):
+            self.cpu.charge_syscall()
+            parents, name = basename_of(path)
+            dirh = self._walk(parents)
+            self._create_file(dirh, name)
 
     def mkdir(self, path: str) -> None:
         """Create an empty directory."""
-        self.cpu.charge_syscall()
-        parents, name = basename_of(path)
-        dirh = self._walk(parents)
-        self._make_directory(dirh, name)
+        with obs.span("vfs", "mkdir", path=path):
+            self.cpu.charge_syscall()
+            parents, name = basename_of(path)
+            dirh = self._walk(parents)
+            self._make_directory(dirh, name)
 
     def unlink(self, path: str) -> None:
         """Remove a file name (and the file, when its last link drops)."""
-        self.cpu.charge_syscall()
-        parents, name = basename_of(path)
-        dirh = self._walk(parents)
-        self._unlink(dirh, name)
+        with obs.span("vfs", "unlink", path=path):
+            self.cpu.charge_syscall()
+            parents, name = basename_of(path)
+            dirh = self._walk(parents)
+            self._unlink(dirh, name)
 
     def rmdir(self, path: str) -> None:
         """Remove an empty directory."""
-        self.cpu.charge_syscall()
-        parents, name = basename_of(path)
-        dirh = self._walk(parents)
-        self._rmdir(dirh, name)
+        with obs.span("vfs", "rmdir", path=path):
+            self.cpu.charge_syscall()
+            parents, name = basename_of(path)
+            dirh = self._walk(parents)
+            self._rmdir(dirh, name)
 
     def link(self, existing: str, new: str) -> None:
         """Create a hard link (C-FFS externalizes the inode here)."""
-        self.cpu.charge_syscall()
-        handle = self._resolve(existing)
-        if self._kind_of(handle) is FileKind.DIRECTORY:
-            raise IsADirectory("cannot hard-link a directory: %r" % existing)
-        parents, name = basename_of(new)
-        dirh = self._walk(parents)
-        self._link(handle, dirh, name)
+        with obs.span("vfs", "link", path=existing, new=new):
+            self.cpu.charge_syscall()
+            handle = self._resolve(existing)
+            if self._kind_of(handle) is FileKind.DIRECTORY:
+                raise IsADirectory("cannot hard-link a directory: %r" % existing)
+            parents, name = basename_of(new)
+            dirh = self._walk(parents)
+            self._link(handle, dirh, name)
 
     def rename(self, old: str, new: str) -> None:
         """Atomically move a name (files and directories)."""
-        self.cpu.charge_syscall()
-        old_parents, old_name = basename_of(old)
-        new_parents, new_name = basename_of(new)
-        # A directory must never move into its own subtree (a cycle
-        # would orphan everything under it).
-        old_prefix = old_parents + [old_name]
-        if new_parents[:len(old_prefix)] == old_prefix:
-            raise InvalidArgument(
-                "cannot move %r into its own subtree %r" % (old, new)
-            )
-        src_dir = self._walk(old_parents)
-        dst_dir = self._walk(new_parents)
-        self._rename(src_dir, old_name, dst_dir, new_name)
+        with obs.span("vfs", "rename", path=old, new=new):
+            self.cpu.charge_syscall()
+            old_parents, old_name = basename_of(old)
+            new_parents, new_name = basename_of(new)
+            # A directory must never move into its own subtree (a cycle
+            # would orphan everything under it).
+            old_prefix = old_parents + [old_name]
+            if new_parents[:len(old_prefix)] == old_prefix:
+                raise InvalidArgument(
+                    "cannot move %r into its own subtree %r" % (old, new)
+                )
+            src_dir = self._walk(old_parents)
+            dst_dir = self._walk(new_parents)
+            self._rename(src_dir, old_name, dst_dir, new_name)
 
     def open(self, path: str, create: bool = False) -> int:
         """Open a regular file, optionally creating it; returns an fd."""
-        self.cpu.charge_syscall()
-        parents, name = basename_of(path)
-        dirh = self._walk(parents)
-        try:
-            handle = self._lookup(dirh, name)
-        except FileNotFound:
-            if not create:
-                raise
-            handle = self._create_file(dirh, name)
-        if self._kind_of(handle) is FileKind.DIRECTORY:
-            raise IsADirectory("cannot open a directory for file I/O: %r" % path)
-        return self.fds.allocate(OpenFile(handle, path))
+        with obs.span("vfs", "open", path=path, create=create):
+            self.cpu.charge_syscall()
+            parents, name = basename_of(path)
+            dirh = self._walk(parents)
+            try:
+                handle = self._lookup(dirh, name)
+            except FileNotFound:
+                if not create:
+                    raise
+                handle = self._create_file(dirh, name)
+            if self._kind_of(handle) is FileKind.DIRECTORY:
+                raise IsADirectory("cannot open a directory for file I/O: %r" % path)
+            return self.fds.allocate(OpenFile(handle, path))
 
     def close(self, fd: int) -> None:
         self.cpu.charge_syscall()
@@ -118,35 +126,43 @@ class FileSystem(abc.ABC):
 
     def read(self, fd: int, size: int) -> bytes:
         """Read from the descriptor's current offset."""
-        self.cpu.charge_syscall()
-        record = self.fds.lookup(fd)
-        data = self._read(record.handle, record.offset, size)
-        record.offset += len(data)
-        self.cpu.charge_copy(len(data))
-        return data
+        with obs.span("vfs", "read", size=size) as sp:
+            self.cpu.charge_syscall()
+            record = self.fds.lookup(fd)
+            data = self._read(record.handle, record.offset, size)
+            record.offset += len(data)
+            self.cpu.charge_copy(len(data))
+            sp.incr("bytes", len(data))
+            return data
 
     def write(self, fd: int, data: bytes) -> int:
         """Write at the descriptor's current offset."""
-        self.cpu.charge_syscall()
-        record = self.fds.lookup(fd)
-        written = self._write(record.handle, record.offset, data)
-        record.offset += written
-        self.cpu.charge_copy(written)
-        return written
+        with obs.span("vfs", "write", size=len(data)) as sp:
+            self.cpu.charge_syscall()
+            record = self.fds.lookup(fd)
+            written = self._write(record.handle, record.offset, data)
+            record.offset += written
+            self.cpu.charge_copy(written)
+            sp.incr("bytes", written)
+            return written
 
     def pread(self, fd: int, offset: int, size: int) -> bytes:
-        self.cpu.charge_syscall()
-        record = self.fds.lookup(fd)
-        data = self._read(record.handle, offset, size)
-        self.cpu.charge_copy(len(data))
-        return data
+        with obs.span("vfs", "pread", offset=offset, size=size) as sp:
+            self.cpu.charge_syscall()
+            record = self.fds.lookup(fd)
+            data = self._read(record.handle, offset, size)
+            self.cpu.charge_copy(len(data))
+            sp.incr("bytes", len(data))
+            return data
 
     def pwrite(self, fd: int, offset: int, data: bytes) -> int:
-        self.cpu.charge_syscall()
-        record = self.fds.lookup(fd)
-        written = self._write(record.handle, offset, data)
-        self.cpu.charge_copy(written)
-        return written
+        with obs.span("vfs", "pwrite", offset=offset, size=len(data)) as sp:
+            self.cpu.charge_syscall()
+            record = self.fds.lookup(fd)
+            written = self._write(record.handle, offset, data)
+            self.cpu.charge_copy(written)
+            sp.incr("bytes", written)
+            return written
 
     def seek(self, fd: int, offset: int) -> None:
         if offset < 0:
@@ -154,15 +170,17 @@ class FileSystem(abc.ABC):
         self.fds.lookup(fd).offset = offset
 
     def truncate(self, path: str, size: int = 0) -> None:
-        self.cpu.charge_syscall()
-        handle = self._resolve(path)
-        if self._kind_of(handle) is FileKind.DIRECTORY:
-            raise IsADirectory("cannot truncate a directory: %r" % path)
-        self._truncate(handle, size)
+        with obs.span("vfs", "truncate", path=path, size=size):
+            self.cpu.charge_syscall()
+            handle = self._resolve(path)
+            if self._kind_of(handle) is FileKind.DIRECTORY:
+                raise IsADirectory("cannot truncate a directory: %r" % path)
+            self._truncate(handle, size)
 
     def stat(self, path: str) -> StatResult:
-        self.cpu.charge_syscall()
-        return self._stat_handle(self._resolve(path))
+        with obs.span("vfs", "stat", path=path):
+            self.cpu.charge_syscall()
+            return self._stat_handle(self._resolve(path))
 
     def exists(self, path: str) -> bool:
         try:
@@ -173,11 +191,12 @@ class FileSystem(abc.ABC):
 
     def readdir(self, path: str) -> List[str]:
         """Names in a directory (no '.' / '..' entries)."""
-        self.cpu.charge_syscall()
-        handle = self._resolve(path)
-        if self._kind_of(handle) is not FileKind.DIRECTORY:
-            raise NotADirectory("%r is not a directory" % path)
-        return self._readdir(handle)
+        with obs.span("vfs", "readdir", path=path):
+            self.cpu.charge_syscall()
+            handle = self._resolve(path)
+            if self._kind_of(handle) is not FileKind.DIRECTORY:
+                raise NotADirectory("%r is not a directory" % path)
+            return self._readdir(handle)
 
     # Whole-file helpers used heavily by workloads.
 
@@ -203,10 +222,12 @@ class FileSystem(abc.ABC):
 
     def sync(self) -> int:
         """Flush all dirty state to disk; returns disk requests issued."""
-        self.cpu.charge_syscall()
-        self._write_back_metadata()
-        nreq = self.cache.sync()
-        return nreq
+        with obs.span("vfs", "sync") as sp:
+            self.cpu.charge_syscall()
+            self._write_back_metadata()
+            nreq = self.cache.sync()
+            sp.incr("requests", nreq)
+            return nreq
 
     def fsync(self, fd: int) -> int:
         """Flush one open file's dirty data and metadata to disk.
@@ -221,19 +242,21 @@ class FileSystem(abc.ABC):
         # reprolint: disable=L001
         from repro.ffs import mapping
 
-        self.cpu.charge_syscall()
-        handle = self.fds.lookup(fd).handle
-        nreq = self.cache.flush_blocks(
-            bno for _idx, bno in mapping.enumerate_blocks(self.cache, handle)
-        )
-        # Persist the inode (and, per-format, whatever metadata chain it
-        # depends on) even under delayed-metadata policy.
-        nreq += self._fsync_metadata(handle)  # type: ignore[attr-defined]
-        # fsync is the one place the barrier must reach the platter:
-        # the cache has already issued its writes, and only the device
-        # can drain its write-behind buffer.
-        self.cache.device.flush()  # reprolint: disable=L001
-        return nreq
+        with obs.span("vfs", "fsync") as sp:
+            self.cpu.charge_syscall()
+            handle = self.fds.lookup(fd).handle
+            nreq = self.cache.flush_blocks(
+                bno for _idx, bno in mapping.enumerate_blocks(self.cache, handle)
+            )
+            # Persist the inode (and, per-format, whatever metadata chain
+            # it depends on) even under delayed-metadata policy.
+            nreq += self._fsync_metadata(handle)  # type: ignore[attr-defined]
+            # fsync is the one place the barrier must reach the platter:
+            # the cache has already issued its writes, and only the device
+            # can drain its write-behind buffer.
+            self.cache.device.flush()  # reprolint: disable=L001
+            sp.incr("requests", nreq)
+            return nreq
 
     def evict_file_data(self, path: str) -> int:
         """Drop a file's cached data blocks (fadvise(DONTNEED)-style).

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.vfs.interface import FileSystem
 
 PHASES = ("create", "read", "overwrite", "delete")
@@ -105,8 +106,11 @@ def run_smallfile(
     def run_phase(name: str, body) -> None:
         before_stats = disk.stats.snapshot()
         start = clock.now
-        body()
-        fs.sync()
+        # The workload span brackets exactly the measured window (body
+        # plus the final write-back), so traces slice per phase.
+        with obs.span("workload", name, files=n_files, size=file_size):
+            body()
+            fs.sync()
         elapsed = clock.now - start
         delta = disk.stats.delta(before_stats)
         result.phases[name] = PhaseResult(

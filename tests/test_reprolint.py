@@ -127,6 +127,35 @@ def test_l001_utility_modules_importable_everywhere():
     assert result.ok
 
 
+def test_l001_obs_importable_from_every_layer():
+    result = lint_sources({
+        "src/repro/disk/drive.py": "from repro import obs\n",
+        "src/repro/cache/buffercache.py": "from repro import obs\n",
+        "src/repro/vfs/interface.py": "from repro import obs\n",
+        "src/repro/core/filesystem.py": "from repro import obs\n",
+        "src/repro/engine/diskqueue.py": "from repro import obs\n",
+    })
+    assert result.ok
+
+
+def test_l001_obs_itself_must_stay_a_leaf():
+    ok = lint_sources({
+        "src/repro/obs/tracer.py": (
+            "from repro.clock import SimClock\n"
+            "from repro.errors import InvalidArgument\n"
+        ),
+    })
+    assert ok.ok
+    bad = lint_sources({
+        "src/repro/obs/tracer.py": (
+            "from repro.cache.buffercache import BufferCache\n"
+        ),
+    })
+    flagged = [f for f in bad.unsuppressed if f.rule == "L001"]
+    assert len(flagged) == 1
+    assert "obs" in flagged[0].message
+
+
 # -- D001 determinism ---------------------------------------------------------
 
 
@@ -170,6 +199,24 @@ def test_d001_simclock_usage_clean():
         "src/repro/engine/run.py": (
             "from repro.clock import SimClock\n\n"
             "def now(clock):\n    return clock.now()\n"
+        ),
+    })
+    assert result.ok
+
+
+def test_d001_tracer_simclock_stamping_clean():
+    # The tracer stamps spans from the shared SimClock — the exact
+    # pattern obs uses.  D001 must not mistake it for wall-clock use.
+    result = lint_sources({
+        "src/repro/obs/tracer.py": (
+            "from repro.clock import SimClock\n\n"
+            "class Tracer:\n"
+            "    def __init__(self, clock=None):\n"
+            "        self.clock = clock if clock is not None else SimClock()\n"
+            "    def _enter(self, span):\n"
+            "        span.start = self.clock.now\n"
+            "    def _exit(self, span):\n"
+            "        span.end = self.clock.now\n"
         ),
     })
     assert result.ok
@@ -398,7 +445,7 @@ def test_json_reporter_golden():
                 "rule": "L001",
                 "message": (
                     "repro.ffs.filesystem imports repro.disk.drive: layer "
-                    "'ffs' may only depend on cache, clock, errors, vfs"
+                    "'ffs' may only depend on cache, clock, errors, obs, vfs"
                 ),
                 "path": "src/repro/ffs/filesystem.py",
                 "module": "repro.ffs.filesystem",

@@ -1,0 +1,108 @@
+"""The ``repro trace`` subcommand and the ``--trace`` benchmark flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.engine import run_multiclient
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    yield
+    obs.uninstall()
+
+
+class TestTraceCommand:
+    def test_chrome_export_schema(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        rc = main(["trace", "--workload", "smallfile", "--files", "20",
+                   "--format", "chrome", "--out", str(out)])
+        assert rc == 0
+        assert "trace: " in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert doc["otherData"]["clock"] == "simulated"
+        assert events[0]["ph"] == "M"
+        layers = {e.get("cat") for e in events}
+        assert {"run", "workload", "vfs", "cache", "disk"} <= layers
+        for event in events[1:]:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_flame_and_metrics_outputs(self, tmp_path):
+        out = tmp_path / "t.flame"
+        metrics = tmp_path / "m.json"
+        rc = main(["trace", "--workload", "smallfile", "--files", "20",
+                   "--format", "flame", "--out", str(out),
+                   "--metrics", str(metrics)])
+        assert rc == 0
+        lines = out.read_text().splitlines()
+        assert lines == sorted(lines)
+        assert any(line.startswith("run.smallfile;") for line in lines)
+        snap = json.loads(metrics.read_text())
+        assert snap["disk.reads"] > 0
+        assert snap["disk.request_sectors"]["total"] > 0
+
+    def test_postmark_jsonl(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        rc = main(["trace", "--workload", "postmark", "--files", "20",
+                   "--format", "jsonl", "--out", str(out)])
+        assert rc == 0
+        first = json.loads(out.read_text().splitlines()[0])
+        assert first["layer"] == "run"
+        assert first["op"] == "postmark"
+
+    def test_unknown_fs_label_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["trace", "--fs", "ntfs",
+                   "--out", str(tmp_path / "t.json")])
+        assert rc == 1
+        assert "unknown file system" in capsys.readouterr().err
+
+    def test_tracer_uninstalled_after_run(self, tmp_path):
+        main(["trace", "--workload", "smallfile", "--files", "10",
+              "--out", str(tmp_path / "t.json")])
+        assert obs.active() is None
+
+
+class TestTraceFlags:
+    def test_bench_trace_flag(self, tmp_path, capsys):
+        out = tmp_path / "b.flame"
+        rc = main(["bench", "--files", "15", "--configs", "conventional,cffs",
+                   "--trace", str(out), "--trace-format", "flame"])
+        assert rc == 0
+        text = out.read_text()
+        # One root stack per benchmarked config.
+        assert "bench.conventional;" in text
+        assert "bench.cffs;" in text
+        assert obs.active() is None
+
+    def test_multiclient_trace_flag(self, tmp_path):
+        out = tmp_path / "mc.jsonl"
+        rc = main(["multiclient", "--clients", "2", "--files", "5",
+                   "--trace", str(out), "--trace-format", "jsonl"])
+        assert rc == 0
+        spans = [json.loads(line) for line in out.read_text().splitlines()]
+        assert {s["layer"] for s in spans} >= {"queue", "disk"}
+        assert obs.active() is None
+
+
+class TestEngineIntegration:
+    def test_multiclient_tracer_carries_phases_and_metrics(self):
+        tracer = obs.Tracer()
+        run_multiclient(n_clients=2, files_per_client=5,
+                        phases=("create", "read"), tracer=tracer)
+        assert obs.active() is None  # run_multiclient cleans up
+        phases = {s.attrs.get("phase") for s in tracer.spans
+                  if s.layer == "queue"}
+        assert {"create", "read"} <= phases
+        names = tracer.registry.names()
+        assert "queue.completed" in names
+        assert "engine.events" in names
+        # Per-client accounting lands in the same registry.
+        assert any(n.startswith("engine.c00.") for n in names)
+        assert tracer.registry.counter("queue.completed").value > 0
