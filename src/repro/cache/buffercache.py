@@ -21,7 +21,7 @@ from typing import Callable, Dict, Iterable, Optional, Set
 from repro import obs
 from repro.blockdev.device import BLOCK_SIZE, BlockDevice
 from repro.cache.buffer import Buffer, LogicalId
-from repro.errors import InvalidArgument
+from repro.errors import ChecksumError, InvalidArgument
 
 # Given a dirty victim's block number, return block numbers that should
 # travel to disk with it (must include the victim itself).
@@ -64,7 +64,14 @@ class BufferCache:
             self.misses += 1
             obs.incr("cache.misses")
             with obs.span("cache", "miss", bno=bno):
-                data = self.device.read_block(bno)
+                try:
+                    data = self.device.read_block(bno)
+                except ChecksumError:
+                    # The device below vouches for nothing here; refuse
+                    # to install the buffer so no caller ever sees the
+                    # bad bytes through the cache.
+                    obs.count("cache.checksum_rejects")
+                    raise
             buf = Buffer(bno, data)
             self._insert(buf)
         if logical is not None and buf.logical != logical:

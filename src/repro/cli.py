@@ -13,6 +13,8 @@
     python -m repro fsck site.img
     python -m repro fsck site.img --repair            # fix and write back
     python -m repro faultsim --files 50               # crash-point sweep
+    python -m repro mkfs site.img --resilient         # self-healing device
+    python -m repro chaos --scenario sustained        # decaying-media soak
     python -m repro info site.img
     python -m repro bench --files 2000               # small-file benchmark
     python -m repro multiclient --clients 8 --fs cffs  # concurrency engine
@@ -37,17 +39,26 @@ from repro.disk.profiles import PROFILES, SEAGATE_ST31200
 from repro.errors import ReproError
 from repro.ffs import layout as flayout
 from repro.ffs.filesystem import FFS, FFSConfig
-from repro.fsck import fsck_cffs, fsck_ffs
+from repro.fsck import fsck_cffs, fsck_ffs, fsck_resilience, is_resilient, open_logical
+from repro.resilience import ResiliencePolicy, ResilientBlockDevice
 
 
-def _magic_of(device: BlockDevice) -> int:
+def _magic_of(device) -> int:
     import struct
 
     return struct.unpack_from("<I", device.peek_block(0), 0)[0]
 
 
+def _open_device(path: str):
+    """The device to mount: resilient images get their verified view."""
+    base = BlockDevice.load_image(path)
+    if is_resilient(base):
+        return ResilientBlockDevice.attach(base)
+    return base
+
+
 def _mount(path: str):
-    device = BlockDevice.load_image(path)
+    device = _open_device(path)
     magic = _magic_of(device)
     if magic == clayout.CFFS_MAGIC:
         return CFFS.mount(device)
@@ -68,16 +79,22 @@ def cmd_mkfs(args) -> int:
               file=sys.stderr)
         return 2
     device = BlockDevice(profile)
+    target = device
+    if args.resilient:
+        target = ResilientBlockDevice.format(
+            device, ResiliencePolicy(n_spares=args.spares))
     if args.fs == "ffs":
-        fs = FFS.mkfs(device, FFSConfig())
+        fs = FFS.mkfs(target, FFSConfig())
     else:
-        fs = CFFS.mkfs(device, CFFSConfig(
+        fs = CFFS.mkfs(target, CFFSConfig(
             embedded_inodes=not args.no_embed,
             explicit_grouping=not args.no_group,
         ))
     _save(fs, args.image)
-    print("created %s: %s on %s (%.2f GB)" % (
+    print("created %s: %s on %s (%.2f GB)%s" % (
         args.image, fs.name, profile.name, profile.capacity_bytes / 1e9,
+        " with resilience region (%d spares)" % args.spares
+        if args.resilient else "",
     ))
     return 0
 
@@ -86,6 +103,12 @@ def cmd_info(args) -> int:
     fs = _mount(args.image)
     profile = fs.device.disk.profile
     print("file system : %s" % fs.name)
+    if isinstance(fs.device, ResilientBlockDevice):
+        header = fs.device.header
+        print("resilience  : %s, %d/%d spares used, %d remaps, %d lost" % (
+            fs.device.health.state.name, header.spares_used,
+            header.geometry.n_spares, len(header.remap), len(header.lost),
+        ))
     print("drive       : %s (%.2f GB, %.0f RPM)" % (
         profile.name, profile.capacity_bytes / 1e9, profile.rpm,
     ))
@@ -174,17 +197,29 @@ def cmd_regroup(args) -> int:
 def cmd_fsck(args) -> int:
     repair = getattr(args, "repair", False)
     device = BlockDevice.load_image(args.image)
-    magic = _magic_of(device)
+    saved_by_resilience = False
+    target = device
+    if is_resilient(device):
+        # Check (and possibly repair) the self-healing layer's own
+        # metadata first; the format checker then runs over the
+        # remap-resolving logical view.
+        res_report = fsck_resilience(device, repair=repair)
+        print(res_report.render())
+        if not res_report.ok:
+            return 1
+        saved_by_resilience = bool(res_report.fixed)
+        target = open_logical(device)
+    magic = _magic_of(target)
     if magic == clayout.CFFS_MAGIC:
-        report = fsck_cffs(device, repair=repair)
+        report = fsck_cffs(target, repair=repair)
     elif magic == flayout.FFS_MAGIC:
-        report = fsck_ffs(device, repair=repair)
+        report = fsck_ffs(target, repair=repair)
     elif repair:
         # The magic may itself be the damage; try whichever checker can
         # recover a superblock from the replica.
-        report = fsck_ffs(device, repair=True)
+        report = fsck_ffs(target, repair=True)
         if not report.fixed:
-            report = fsck_cffs(device, repair=True)
+            report = fsck_cffs(target, repair=True)
         if not report.fixed:
             print("unrecognizable file system (magic 0x%x), no usable "
                   "superblock replica" % magic, file=sys.stderr)
@@ -192,7 +227,7 @@ def cmd_fsck(args) -> int:
     else:
         print("unrecognizable file system (magic 0x%x)" % magic, file=sys.stderr)
         return 2
-    if repair and report.fixed:
+    if repair and (report.fixed or saved_by_resilience):
         device.save_image(args.image)
     print(report.render())
     return 0 if report.ok else 1
@@ -214,11 +249,32 @@ def cmd_faultsim(args) -> int:
                       else MetadataPolicy.SYNC_METADATA])
     results = [
         crash_point_sweep(label, policy=policy, n_files=args.files,
-                          seed=args.seed, stride=args.stride)
+                          seed=args.seed, stride=args.stride,
+                          resilient=args.resilient)
         for label in labels for policy in policies
     ]
     print(render_sweep(results))
     return 0 if all(r.all_recovered for r in results) else 1
+
+
+def cmd_chaos(args) -> int:
+    from dataclasses import replace
+
+    from repro.faults.chaos import render_chaos, run_chaos, scenario
+
+    cfg = scenario(args.scenario, seed=args.seed)
+    if args.fs:
+        cfg = replace(cfg, label=args.fs)
+    if args.files:
+        cfg = replace(cfg, n_files=args.files)
+    report = run_chaos(cfg)
+    text = render_chaos(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+    print(text)
+    passed, _reasons = report.verdict()
+    return 0 if passed else 1
 
 
 #: Default export file name per trace format.
@@ -370,6 +426,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable embedded inodes (C-FFS only)")
     p.add_argument("--no-group", action="store_true",
                    help="disable explicit grouping (C-FFS only)")
+    p.add_argument("--resilient", action="store_true",
+                   help="reserve a checksum sidecar + spare pool so the "
+                        "image self-heals (see docs/RESILIENCE.md)")
+    p.add_argument("--spares", type=int, default=32,
+                   help="spare blocks for bad-block remapping "
+                        "(with --resilient)")
     p.set_defaults(func=cmd_mkfs)
 
     p = sub.add_parser("info", help="describe an image")
@@ -431,7 +493,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stride", type=int, default=1,
                    help="test every Nth crash point (1 = exhaustive)")
     p.add_argument("--seed", type=int, default=1997)
+    p.add_argument("--resilient", action="store_true",
+                   help="run the workload over the self-healing device "
+                        "layer (crash windows cover remap-table writes)")
     p.set_defaults(func=cmd_faultsim)
+
+    p = sub.add_parser(
+        "chaos",
+        help="soak a file system on decaying media and assert the "
+             "self-healing contract")
+    p.add_argument("--scenario", choices=("sustained", "exhaust"),
+                   default="sustained",
+                   help="sustained decay, or spare-pool exhaustion "
+                        "(expects the READ_ONLY demotion)")
+    p.add_argument("--fs", choices=("cffs", "ffs"),
+                   help="override the scenario's file system")
+    p.add_argument("--files", type=int,
+                   help="override the scenario's workload size")
+    p.add_argument("--seed", type=int,
+                   help="override the scenario's seed")
+    p.add_argument("--out", metavar="PATH",
+                   help="also write the report here (CI diffs two runs)")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("multiclient",
                        help="run N concurrent clients through the engine")

@@ -45,6 +45,12 @@ from repro.faults.schedule import HARD, OK, FaultSchedule, RetryPolicy
 
 SCHEDULERS = ("fcfs", "sstf", "clook")
 
+#: Histogram buckets (seconds) for the retried-request latency metric.
+#: Sized around the default RetryPolicy: 2 ms backoff doubling per
+#: retry, plus one drive service time (~10 ms) per extra attempt.
+RETRY_LATENCY_BUCKETS = (0.002, 0.005, 0.010, 0.020, 0.050,
+                         0.100, 0.250, 1.000)
+
 
 @dataclass
 class QueuedRequest:
@@ -56,6 +62,7 @@ class QueuedRequest:
     client: int                # issuing client id (engine bookkeeping)
     on_complete: Optional[Callable[["QueuedRequest"], None]] = None
     submit_time: float = 0.0
+    first_submit_time: float = 0.0  # original submit (requeues reset submit_time)
     dispatch_time: float = 0.0
     complete_time: float = 0.0
     retries: int = 0           # transient faults survived so far
@@ -155,7 +162,7 @@ class DiskQueue:
         """
         req = QueuedRequest(op=op, lba=lba, nsectors=nsectors, client=client,
                             on_complete=on_complete)
-        req.submit_time = self.loop.now
+        req.submit_time = req.first_submit_time = self.loop.now
         if self._first_submit is None:
             self._first_submit = req.submit_time
             self._last_depth_mark = req.submit_time
@@ -224,6 +231,8 @@ class DiskQueue:
                 else:
                     req.retries += 1
                     self.stats.retried += 1
+                    obs.count("queue.retried")
+                    obs.count("queue.retried.%s" % req.op)
                     self.loop.call_at(completion, self._release_and_requeue, req)
                 return
 
@@ -273,6 +282,13 @@ class DiskQueue:
         obs.count("queue.completed")
         if req.error is not None:
             obs.count("queue.failed")
+        if req.retries > 0:
+            # End-to-end latency of requests that survived at least one
+            # transient fault: original submit -> final completion, so
+            # backoff sleeps and every extra service attempt count.
+            obs.observe("queue.retry_latency",
+                        req.complete_time - req.first_submit_time,
+                        buckets=RETRY_LATENCY_BUCKETS)
         if self._first_submit is not None:
             self.stats.span = req.complete_time - self._first_submit
         self._busy = False

@@ -29,8 +29,22 @@ class MediaWriteError(MediaError):
     """A write failed permanently; part of an extent may have landed."""
 
 
+class ChecksumError(MediaError):
+    """A read returned data whose CRC disagrees with the sidecar.
+
+    Raised by the resilience layer *instead of* returning the bytes, so
+    torn or bit-rotted blocks are detected — never silently installed
+    into the buffer cache.
+    """
+
+
 class TransientDiskError(DiskError):
     """A recoverable fault (timeout, recalibration); retrying may succeed."""
+
+
+class DeviceDegraded(DiskError):
+    """The device refused a request because its health no longer allows
+    it (spare pool gone, retry budget exhausted, or FAILED outright)."""
 
 
 class PowerLoss(DiskError):
@@ -103,6 +117,14 @@ class CrossDevice(FileSystemError):
     errno_name = "EXDEV"
 
 
+class ReadOnlyFileSystem(FileSystemError):
+    """A mutating operation reached a volume demoted to read-only
+    service (EROFS) — the graceful-degradation alternative to dying
+    when the storage below can no longer absorb writes."""
+
+    errno_name = "EROFS"
+
+
 class CorruptFileSystem(FileSystemError):
     """An on-disk structure failed a sanity check."""
 
@@ -111,3 +133,7 @@ class CorruptFileSystem(FileSystemError):
 
 class FsckError(ReproError):
     """The offline checker found an inconsistency it could not repair."""
+
+
+class LintError(ReproError):
+    """A source file handed to reprolint could not be read or parsed."""

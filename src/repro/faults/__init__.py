@@ -1,5 +1,13 @@
 """Fault injection and recovery: failing disks, crash images, sweeps."""
 
+from repro.faults.chaos import (
+    CHAOS_SCENARIOS,
+    ChaosConfig,
+    ChaosReport,
+    render_chaos,
+    run_chaos,
+    scenario,
+)
 from repro.faults.proxy import FaultyBlockDevice
 from repro.faults.schedule import (
     HARD,
@@ -13,13 +21,19 @@ from repro.faults.schedule import (
 )
 
 __all__ = [
-    "HARD",
-    "OK",
-    "TORN",
-    "TRANSIENT",
+    "CHAOS_SCENARIOS",
+    "ChaosConfig",
+    "ChaosReport",
     "FaultDecision",
     "FaultSchedule",
     "FaultStats",
     "FaultyBlockDevice",
+    "HARD",
+    "OK",
     "RetryPolicy",
+    "TORN",
+    "TRANSIENT",
+    "render_chaos",
+    "run_chaos",
+    "scenario",
 ]

@@ -33,8 +33,16 @@ from repro.core.filesystem import CFFS, CFFSConfig
 from repro.disk.profiles import DriveProfile
 from repro.errors import ReproError
 from repro.faults.proxy import FaultyBlockDevice
+from repro.faults.schedule import FaultSchedule
 from repro.ffs.filesystem import FFS, FFSConfig
-from repro.fsck import FsckReport, fsck_cffs, fsck_ffs
+from repro.fsck import (
+    FsckReport,
+    fsck_cffs,
+    fsck_ffs,
+    fsck_resilience,
+    open_logical,
+)
+from repro.resilience import ResiliencePolicy, ResilientBlockDevice
 
 FAULT_FSES = ("ffs", "cffs")
 
@@ -99,6 +107,7 @@ class SweepResult:
     journal_base: int            # media writes landed by mkfs + first sync
     total_writes: int
     stride: int
+    resilient: bool = False
     points: List[CrashPoint] = field(default_factory=list)
 
     @property
@@ -150,6 +159,7 @@ def run_journaled_workload(
     n_files: int = 50,
     seed: int = 1997,
     sync_every: int = 5,
+    resilient: bool = False,
 ) -> Tuple[FaultyBlockDevice, List[Checkpoint]]:
     """Run the sweep workload once; returns the journaling device and
     the checkpoint list (first checkpoint = empty tree after mkfs).
@@ -159,13 +169,29 @@ def run_journaled_workload(
     cover create, overwrite and unlink paths — and syncs every
     ``sync_every`` operations.  Contents are unique per (file, version),
     so two checkpoints never agree on a path by accident.
+
+    With ``resilient=True`` the file system runs over a
+    :class:`ResilientBlockDevice`, and a deterministic sprinkle of
+    bad-write locations forces remaps mid-workload — so the journal
+    contains spare-block and remap-header writes, and the sweep's crash
+    windows land *between* them (the remap-write boundaries repair must
+    survive).
     """
     if label not in FAULT_FSES:
         raise ReproError("unknown file system %r; known: %s"
                          % (label, ", ".join(FAULT_FSES)))
-    device = FaultyBlockDevice(BlockDevice(FAULTSIM_PROFILE),
+    schedule = FaultSchedule(seed=seed)
+    device = FaultyBlockDevice(BlockDevice(FAULTSIM_PROFILE), schedule,
                                record_journal=True)
-    fs = _mkfs(label, policy, device)
+    target = device
+    if resilient:
+        target = ResilientBlockDevice.format(
+            device, ResiliencePolicy(n_spares=8))
+        # Break a deterministic sample of usable locations so the
+        # workload's own writes trigger remaps (and journal them).
+        rng = random.Random("faultsim-resilient:%d" % seed)
+        schedule.break_writes(rng.sample(range(1, target.total_blocks), 48))
+    fs = _mkfs(label, policy, target)
     fs.mkdir("/data")
     fs.sync()
     assert device.journal is not None
@@ -206,17 +232,36 @@ def _verify_point(
     device: FaultyBlockDevice,
     checkpoints: List[Checkpoint],
     k: int,
+    resilient: bool = False,
 ) -> CrashPoint:
     """Repair, re-check, remount and read back one crash image."""
     check = _checker(label)
     image = device.image_at(k)
-    first = check(image, repair=True)
-    second = check(image)
+    pre_fixes = 0
+    if resilient:
+        # The self-healing layer's own metadata is repaired first (the
+        # sidecar is legitimately stale between syncs); the format
+        # checker then runs over the remap-resolving logical view.
+        pre = fsck_resilience(image, repair=True)
+        pre_fixes = len(pre.fixed)
+        if pre.errors or not fsck_resilience(image).pristine:
+            return CrashPoint(
+                k=k, first_errors=len(pre.errors),
+                first_repairs=len(pre.repairs), fixes=pre_fixes,
+                pristine_after=False, remounted=False, files_checked=0,
+                intact=False,
+                detail="resilience metadata unrepairable: %s"
+                % "; ".join(pre.errors[:3]))
+        target = open_logical(image)
+    else:
+        target = image
+    first = check(target, repair=True)
+    second = check(target)
     point = CrashPoint(
         k=k,
         first_errors=len(first.errors),
         first_repairs=len(first.repairs),
-        fixes=len(first.fixed),
+        fixes=len(first.fixed) + pre_fixes,
         pristine_after=second.pristine,
         remounted=False,
         files_checked=0,
@@ -228,7 +273,9 @@ def _verify_point(
         return point
 
     try:
-        fs = FFS.mount(image) if label == "ffs" else CFFS.mount(image)
+        mount_dev = (ResilientBlockDevice.attach(image) if resilient
+                     else image)
+        fs = FFS.mount(mount_dev) if label == "ffs" else CFFS.mount(mount_dev)
     except ReproError as exc:
         point.detail = "remount failed: %s" % exc
         return point
@@ -272,6 +319,7 @@ def crash_point_sweep(
     seed: int = 1997,
     stride: int = 1,
     sync_every: int = 5,
+    resilient: bool = False,
 ) -> SweepResult:
     """Power-cut after every ``stride``-th media write; repair and verify.
 
@@ -284,18 +332,21 @@ def crash_point_sweep(
     if stride < 1:
         raise ReproError("stride must be >= 1, got %d" % stride)
     device, checkpoints = run_journaled_workload(
-        label, policy, n_files=n_files, seed=seed, sync_every=sync_every)
+        label, policy, n_files=n_files, seed=seed, sync_every=sync_every,
+        resilient=resilient)
     assert device.journal is not None
     total = len(device.journal)
     base = checkpoints[0].journal_len
     result = SweepResult(
         label=label, policy=policy.value, n_files=n_files, seed=seed,
-        journal_base=base, total_writes=total, stride=stride)
+        journal_base=base, total_writes=total, stride=stride,
+        resilient=resilient)
     ks = list(range(base, total + 1, stride))
     if ks[-1] != total:
         ks.append(total)
     for k in ks:
-        result.points.append(_verify_point(label, device, checkpoints, k))
+        result.points.append(
+            _verify_point(label, device, checkpoints, k, resilient=resilient))
     return result
 
 
@@ -305,9 +356,10 @@ def render_sweep(results: List[SweepResult]) -> str:
     for r in results:
         lines.append(
             "%-6s policy=%-8s  %d files, %d media writes, %d crash points "
-            "(stride %d)" % (r.label, r.policy, r.n_files,
-                             r.total_writes - r.journal_base,
-                             r.n_points, r.stride))
+            "(stride %d)%s" % (r.label, r.policy, r.n_files,
+                               r.total_writes - r.journal_base,
+                               r.n_points, r.stride,
+                               "  [resilient]" if r.resilient else ""))
         lines.append(
             "       recovered %d/%d   fsck fixes applied: %d   %s"
             % (r.n_recovered, r.n_points, r.total_fixes,

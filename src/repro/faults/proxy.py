@@ -14,7 +14,12 @@ over it unchanged.  Every timed media request consults a
   raising, which is exactly the partial-failure window the ordering
   rules in both file systems must survive;
 - a scheduled *power cut* lands the remaining media-write budget and
-  then raises :class:`PowerLoss`; the device is dead afterwards.
+  then raises :class:`PowerLoss`; the device is dead afterwards;
+- *location faults* (weak, bad, and rotting blocks — see
+  :mod:`repro.faults.schedule`) tie decay to physical addresses:
+  weak blocks cost in-drive retries, bad blocks fail every request
+  touching them, and rotting blocks silently return flipped bits on
+  their first read — the failure mode only checksums catch.
 
 With ``record_journal=True`` the proxy keeps the ordered list of
 ``(block, bytes)`` media writes that actually landed.  ``image_at(k)``
@@ -55,6 +60,7 @@ class FaultyBlockDevice:
         self.journal: Optional[List[Tuple[int, bytes]]] = (
             [] if record_journal else None)
         self.dead = False
+        self._rotted: set = set()   # rot already applied to the media
 
     # -- device surface the file systems rely on -------------------------------
 
@@ -90,9 +96,29 @@ class FaultyBlockDevice:
             self.clock.advance(self.retry.error_latency)
             raise MediaReadError(
                 "unreadable blocks [%d, %d)" % (start, start + count))
+        bad = self._touches(start, count, self.schedule.bad_read_blocks)
+        if bad is not None:
+            self.stats.hard_read_faults += 1
+            self.clock.advance(self.retry.error_latency)
+            raise MediaReadError(
+                "unreadable blocks [%d, %d): bad media at block %d"
+                % (start, start + count, bad))
         if decision.kind == TRANSIENT:
             self._absorb_transient("read", start, count, decision.failures)
-        return self.inner.read_extent(start, count)
+        weak = [b for b in range(start, start + count)
+                if b in self.schedule.weak_read_blocks]
+        if weak:
+            self.stats.weak_reads += len(weak)
+            # Weak locations struggle but stay readable: clamp below the
+            # in-drive give-up threshold so only latency is charged.
+            self._absorb_transient(
+                "read", start, count,
+                min(len(weak) * self.schedule.weak_failures,
+                    self.retry.max_attempts - 1))
+        datas = self.inner.read_extent(start, count)
+        if self.schedule.rot_blocks:
+            datas = self._apply_rot(start, datas)
+        return datas
 
     def read_batch(self, block_numbers: Iterable[int]) -> Dict[int, bytes]:
         blocks = list(block_numbers)
@@ -127,6 +153,13 @@ class FaultyBlockDevice:
             self.clock.advance(self.retry.error_latency)
             raise MediaWriteError(
                 "write to blocks [%d, %d) failed" % (start, start + count))
+        bad = self._touches(start, count, self.schedule.bad_write_blocks)
+        if bad is not None:
+            self.stats.hard_write_faults += 1
+            self.clock.advance(self.retry.error_latency)
+            raise MediaWriteError(
+                "write to blocks [%d, %d) failed: bad media at block %d"
+                % (start, start + count, bad))
         if decision.kind == TRANSIENT:
             self._absorb_transient("write", start, count, decision.failures)
 
@@ -144,6 +177,10 @@ class FaultyBlockDevice:
             self.disk.write(start * SECTORS_PER_BLOCK, landed * SECTORS_PER_BLOCK)
             for i in range(landed):
                 self.inner.poke_block(start + i, blocks[i])
+                # Fresh data cancels pending decay and supersedes any
+                # rot already applied at this location.
+                self.schedule.rot_blocks.discard(start + i)
+                self._rotted.discard(start + i)
                 if self.journal is not None:
                     self.journal.append((start + i, bytes(blocks[i])))
             self.stats.media_writes += landed
@@ -188,6 +225,27 @@ class FaultyBlockDevice:
         self.inner._check(bno, count)
 
     # -- fault plumbing ---------------------------------------------------------
+
+    @staticmethod
+    def _touches(start: int, count: int, locations) -> Optional[int]:
+        """First block of ``[start, start+count)`` in ``locations``."""
+        if not locations:
+            return None
+        for bno in range(start, start + count):
+            if bno in locations:
+                return bno
+        return None
+
+    def _apply_rot(self, start: int, datas: List[bytes]) -> List[bytes]:
+        """Silently corrupt scheduled blocks on their first read."""
+        for i, data in enumerate(datas):
+            bno = start + i
+            if bno in self.schedule.rot_blocks and bno not in self._rotted:
+                datas[i] = self.schedule.corrupt(bno, data)
+                self.inner.poke_block(bno, datas[i])
+                self._rotted.add(bno)
+                self.stats.rot_corruptions += 1
+        return datas
 
     def _require_power(self) -> None:
         if self.dead:

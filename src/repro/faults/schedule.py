@@ -14,13 +14,28 @@ specific request index (``fail_read``/``fail_write``/``tear_write``)
 and a power cut can be scheduled after the k-th media block-write
 (``power_cut_after_write``) — the primitive the crash-point sweep
 harness enumerates.
+
+Index-based faults model a *drive* having a bad moment; media decay is
+tied to *locations* instead.  A schedule can therefore also carry
+per-block fault sets (the self-healing layer's diet):
+
+- ``weaken_reads(blocks)`` — reads touching these blocks need in-drive
+  retries (transient latency) but still return correct data: the
+  early-warning signal a scrubber rescues;
+- ``break_reads(blocks)`` / ``break_writes(blocks)`` — sticky hard
+  failures at those locations, forever: the case bad-block remapping
+  exists for;
+- ``rot(blocks)`` — silent corruption: the first timed read of the
+  block returns flipped bits *without any error*, which only a
+  checksum can catch.  A rewrite before the read lands fresh data and
+  cancels the decay.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 #: Decision kinds.
 OK = "ok"
@@ -56,6 +71,8 @@ class FaultStats:
     hard_write_faults: int = 0
     torn_writes: int = 0
     power_cuts: int = 0
+    weak_reads: int = 0          # reads that touched weak locations
+    rot_corruptions: int = 0     # blocks silently corrupted on read
 
 
 class FaultSchedule:
@@ -90,6 +107,13 @@ class FaultSchedule:
         #: have landed (None = never).
         self.power_cut_after_write = power_cut_after_write
         self._explicit: Dict[Tuple[str, int], FaultDecision] = {}
+        #: Location-based media decay (see the module docstring).
+        self.weak_read_blocks: Set[int] = set()
+        self.bad_read_blocks: Set[int] = set()
+        self.bad_write_blocks: Set[int] = set()
+        self.rot_blocks: Set[int] = set()
+        #: Transient attempts a weak location costs per read touching it.
+        self.weak_failures: int = 1
 
     # -- explicit injections --------------------------------------------------
 
@@ -112,6 +136,39 @@ class FaultSchedule:
         self._explicit[("write", index)] = FaultDecision(
             TORN, torn_blocks=landed_blocks)
         return self
+
+    # -- location-based media decay -------------------------------------------
+
+    def weaken_reads(self, blocks: Iterable[int],
+                     failures: int = 1) -> "FaultSchedule":
+        """Make reads of ``blocks`` need ``failures`` in-drive retries."""
+        if failures < 1:
+            raise ValueError("weak locations must cost at least 1 retry")
+        self.weak_read_blocks.update(blocks)
+        self.weak_failures = failures
+        return self
+
+    def break_reads(self, blocks: Iterable[int]) -> "FaultSchedule":
+        """Make every read touching ``blocks`` fail hard, forever."""
+        self.bad_read_blocks.update(blocks)
+        return self
+
+    def break_writes(self, blocks: Iterable[int]) -> "FaultSchedule":
+        """Make every write touching ``blocks`` fail hard, forever."""
+        self.bad_write_blocks.update(blocks)
+        return self
+
+    def rot(self, blocks: Iterable[int]) -> "FaultSchedule":
+        """Schedule silent corruption of ``blocks`` on their next read."""
+        self.rot_blocks.update(blocks)
+        return self
+
+    def corrupt(self, bno: int, data: bytes) -> bytes:
+        """Deterministically flip bits of block ``bno``'s content."""
+        rng = random.Random("rot:%d:%d" % (self.seed, bno))
+        rotted = bytearray(data)
+        rotted[rng.randrange(len(rotted))] ^= rng.randrange(1, 256)
+        return bytes(rotted)
 
     # -- decisions ------------------------------------------------------------
 

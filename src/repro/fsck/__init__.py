@@ -5,8 +5,22 @@ statically determined locations, they can all be found (assuming no
 media corruption) by following the directory hierarchy."  That is
 exactly how :func:`fsck_cffs` works; :func:`fsck_ffs` checks the
 static-table baseline.
+
+"Assuming no media corruption" is where :func:`fsck_resilience` comes
+in: on images formatted through the self-healing device layer it
+validates the checksum sidecar and bad-block remap table first, and
+:func:`open_logical` then presents the remap-resolved usable window so
+the format checkers run unchanged.
 """
 
 from repro.fsck.checker import FsckReport, fsck_cffs, fsck_ffs
+from repro.fsck.resilience import fsck_resilience, is_resilient, open_logical
 
-__all__ = ["FsckReport", "fsck_cffs", "fsck_ffs"]
+__all__ = [
+    "FsckReport",
+    "fsck_cffs",
+    "fsck_ffs",
+    "fsck_resilience",
+    "is_resilient",
+    "open_logical",
+]

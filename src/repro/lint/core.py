@@ -25,11 +25,9 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ReproError
-
-
-class LintError(ReproError):
-    """A source file could not be read or parsed."""
+# LintError lives in the central taxonomy (E001 enforces that); it is
+# re-exported here because it is part of this package's API.
+from repro.errors import LintError
 
 
 _DIRECTIVE = re.compile(

@@ -4,7 +4,8 @@ The stack, bottom to top::
 
     disk  ->  blockdev  ->  cache  ->  vfs  ->  ffs  ->  core
                  |                                        |
-                 +--- faults / engine (device wrappers)   +--- fsck
+                 +--- faults / engine / resilience        +--- fsck
+                      (device wrappers)
 
 Three load-bearing constraints, straight from the paper's correctness
 argument (all metadata ordering guarantees are enforced at the buffer
@@ -50,17 +51,22 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     "vfs": frozenset({"cache"}),
     "ffs": frozenset({"cache", "vfs"}),
     "core": frozenset({"ffs", "cache", "vfs"}),
-    "fsck": frozenset({"core", "ffs", "cache", "blockdev"}),
-    "faults": frozenset({"blockdev", "disk", "cache", "core", "ffs", "fsck", "vfs"}),
-    "engine": frozenset(
-        {"blockdev", "disk", "faults", "cache", "vfs", "workloads", "analysis"}
+    "fsck": frozenset({"core", "ffs", "cache", "blockdev", "resilience"}),
+    "faults": frozenset(
+        {"blockdev", "disk", "cache", "core", "ffs", "fsck", "vfs",
+         "resilience"}
     ),
+    "engine": frozenset(
+        {"blockdev", "disk", "faults", "cache", "vfs", "workloads",
+         "analysis", "resilience"}
+    ),
+    "resilience": frozenset({"blockdev", "disk"}),
     "workloads": frozenset({"vfs"}),
     "analysis": frozenset({"disk"}),
     "bench": frozenset(
         {
             "analysis", "blockdev", "cache", "core", "disk", "engine",
-            "faults", "ffs", "fsck", "vfs", "workloads",
+            "faults", "ffs", "fsck", "resilience", "vfs", "workloads",
         }
     ),
     "lint": frozenset(),

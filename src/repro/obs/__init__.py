@@ -35,7 +35,7 @@ and the export formats.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.clock import SimClock
 from repro.obs.export import (
@@ -71,8 +71,10 @@ __all__ = [
     "export_chrome",
     "export_flame",
     "export_jsonl",
+    "gauge_set",
     "incr",
     "install",
+    "observe",
     "record",
     "span",
     "uninstall",
@@ -133,3 +135,20 @@ def count(metric: str, delta: Number = 1) -> None:
     """Bump a registry counter on the installed tracer (no-op when off)."""
     if _tracer is not None:
         _tracer.registry.counter(metric).inc(delta)
+
+
+def gauge_set(metric: str, value: Number) -> None:
+    """Set a registry gauge on the installed tracer (no-op when off)."""
+    if _tracer is not None:
+        _tracer.registry.gauge(metric).set(value)
+
+
+def observe(metric: str, value: Number,
+            buckets: Optional[Sequence[Number]] = None) -> None:
+    """Observe into a registry histogram on the installed tracer.
+
+    ``buckets`` is required the first time a histogram name is seen
+    (ignored afterwards); with no tracer installed this is a no-op.
+    """
+    if _tracer is not None:
+        _tracer.registry.histogram(metric, buckets).observe(value)

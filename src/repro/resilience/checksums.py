@@ -1,0 +1,98 @@
+"""CRC32C (Castagnoli) and the per-block checksum sidecar codec.
+
+Every usable block of a resilient device carries a 4-byte CRC32C in a
+reserved sidecar region at the tail of the underlying device.  CRC32C
+is the polynomial storage systems standardized on (iSCSI, btrfs, ext4
+metadata_csum) because it catches the failure modes that matter here:
+torn multi-sector writes, stuck bits, and wholesale misdirected block
+content.  The implementation is slicing-by-8 (eight 256-entry tables,
+eight input bytes folded per step) — pure Python, no dependencies,
+deterministic everywhere, and fast enough that a scrub pass over a
+whole simulated drive stays sub-second.
+
+Sidecar layout: checksums are stored little-endian, packed 1024 to a
+4 KB block; the CRC for logical block *b* lives at sidecar block
+``b // 1024``, offset ``(b % 1024) * 4``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+#: CRC32C (Castagnoli) reversed polynomial.
+_POLY = 0x82F63B78
+
+
+def _build_tables() -> List[List[int]]:
+    byte_table = []
+    for i in range(256):
+        crc = i
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        byte_table.append(crc)
+    tables = [byte_table]
+    for k in range(1, 8):
+        prev = tables[k - 1]
+        tables.append([(prev[i] >> 8) ^ byte_table[prev[i] & 0xFF]
+                       for i in range(256)])
+    return tables
+
+
+_TABLES = _build_tables()
+_TABLE = _TABLES[0]
+
+#: 4 KB of zeros and its CRC — the common case on a sparse device.
+_ZERO_BLOCK = bytes(4096)
+_ZERO_BLOCK_CRC = None   # filled in below, once crc32c exists
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """CRC32C of ``data``; pass a previous result to continue a run."""
+    if crc == 0 and _ZERO_BLOCK_CRC is not None and data == _ZERO_BLOCK:
+        # Zero detection: scrub and fsck sweep every block of a mostly
+        # empty device, and the C-speed compare is ~100x the table loop.
+        return _ZERO_BLOCK_CRC
+    t0, t1, t2, t3, t4, t5, t6, t7 = _TABLES
+    crc ^= 0xFFFFFFFF
+    n = len(data)
+    i = 0
+    end8 = n - (n & 7)
+    while i < end8:
+        crc ^= (data[i] | data[i + 1] << 8
+                | data[i + 2] << 16 | data[i + 3] << 24)
+        crc = (t7[crc & 0xFF] ^ t6[(crc >> 8) & 0xFF]
+               ^ t5[(crc >> 16) & 0xFF] ^ t4[crc >> 24]
+               ^ t3[data[i + 4]] ^ t2[data[i + 5]]
+               ^ t1[data[i + 6]] ^ t0[data[i + 7]])
+        i += 8
+    while i < n:
+        crc = t0[(crc ^ data[i]) & 0xFF] ^ (crc >> 8)
+        i += 1
+    return crc ^ 0xFFFFFFFF
+
+
+_ZERO_BLOCK_CRC = crc32c(_ZERO_BLOCK)
+
+#: Checksum entries per 4 KB sidecar block.
+CRCS_PER_BLOCK = 1024
+
+_CRC_BLOCK = struct.Struct("<%dI" % CRCS_PER_BLOCK)
+
+
+def pack_crc_block(crcs: List[int]) -> bytes:
+    """Pack exactly :data:`CRCS_PER_BLOCK` checksums into block bytes."""
+    return _CRC_BLOCK.pack(*crcs)
+
+
+def unpack_crc_block(raw: bytes) -> List[int]:
+    """The :data:`CRCS_PER_BLOCK` checksums held in one sidecar block."""
+    return list(_CRC_BLOCK.unpack(raw))
+
+
+__all__ = [
+    "CRCS_PER_BLOCK",
+    "crc32c",
+    "pack_crc_block",
+    "unpack_crc_block",
+]

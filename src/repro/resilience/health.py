@@ -1,0 +1,127 @@
+"""Device health: a one-way state machine with policy-driven budgets.
+
+::
+
+    HEALTHY --> DEGRADED --> READ_ONLY --> FAILED
+
+- *HEALTHY*: no faults absorbed yet.
+- *DEGRADED*: the device has healed something (remap, checksum repair,
+  retried read) but still offers full service.
+- *READ_ONLY*: the write path can no longer be trusted — the spare
+  pool is exhausted or the failure budget is blown — so writes are
+  refused with :class:`~repro.errors.ReadOnlyFileSystem` while reads
+  keep working.  Degrading beats dying: a read-only file server still
+  serves the paper's small-file read traffic.
+- *FAILED*: the device is gone (power loss, or reads exhausted their
+  budget too); every request raises.
+
+Transitions are monotonic (never back toward HEALTHY within a run —
+recovering trust is an offline fsck decision, not an online one), are
+recorded with the simulated timestamp and a reason, and are mirrored
+into the obs metrics registry (``resilience.health`` gauge holds the
+state ordinal, ``resilience.health_transitions`` counts moves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import DeviceDegraded, ReadOnlyFileSystem
+
+
+class HealthState(Enum):
+    HEALTHY = 0
+    DEGRADED = 1
+    READ_ONLY = 2
+    FAILED = 3
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Budgets and knobs for the resilient device and its scrubber."""
+
+    #: Spare blocks reserved for bad-block remapping.
+    n_spares: int = 32
+    #: Read attempts against a block before giving up (per request).
+    max_read_retries: int = 3
+    #: Re-reads after a checksum mismatch before declaring the data bad
+    #: (a mismatch caused by an in-flight transient may clear on retry).
+    verify_retries: int = 1
+    #: Checksum failures tolerated before writes are no longer trusted
+    #: and the device demotes itself to READ_ONLY.
+    max_checksum_failures: int = 64
+    #: Hard read failures (budget exhausted, no remap copy) tolerated
+    #: before the device demotes itself to READ_ONLY.
+    max_unreadable_blocks: int = 64
+    #: Blocks the scrubber verifies per step (one idle-time slice).
+    scrub_batch_blocks: int = 64
+    #: Simulated seconds between scrub steps when loop-scheduled.
+    scrub_interval: float = 0.050
+
+
+@dataclass
+class HealthTransition:
+    """One recorded state change."""
+
+    time: float
+    previous: HealthState
+    state: HealthState
+    reason: str
+
+
+@dataclass
+class HealthMonitor:
+    """Tracks the state, enforces monotonicity, meters transitions."""
+
+    state: HealthState = HealthState.HEALTHY
+    transitions: List[HealthTransition] = field(default_factory=list)
+    #: Optional hook fired after each transition (chaos harness,
+    #: engine-level remount logic).
+    on_transition: Optional[Callable[[HealthTransition], None]] = None
+
+    def transition(self, state: HealthState, now: float, reason: str) -> bool:
+        """Move to ``state`` (no-op when already there or further along).
+
+        Returns True when a transition actually happened.
+        """
+        if state.value <= self.state.value:
+            return False
+        change = HealthTransition(now, self.state, state, reason)
+        self.state = state
+        self.transitions.append(change)
+        obs.count("resilience.health_transitions")
+        obs.gauge_set("resilience.health", state.value)
+        if self.on_transition is not None:
+            self.on_transition(change)
+        return True
+
+    # -- gates the device calls on each request ------------------------------
+
+    def check_writable(self) -> None:
+        if self.state is HealthState.FAILED:
+            raise DeviceDegraded("device has FAILED; no requests accepted")
+        if self.state is HealthState.READ_ONLY:
+            raise ReadOnlyFileSystem(
+                "device is read-only: %s"
+                % (self.transitions[-1].reason if self.transitions
+                   else "demoted"))
+
+    def check_readable(self) -> None:
+        if self.state is HealthState.FAILED:
+            raise DeviceDegraded("device has FAILED; no requests accepted")
+
+    def summary(self) -> List[Tuple[float, str, str, str]]:
+        """Deterministic, render-friendly transition log."""
+        return [(t.time, t.previous.name, t.state.name, t.reason)
+                for t in self.transitions]
+
+
+__all__ = [
+    "HealthMonitor",
+    "HealthState",
+    "HealthTransition",
+    "ResiliencePolicy",
+]

@@ -1,0 +1,127 @@
+"""Background scrubbing: walk the device, verify, heal what's decaying.
+
+A :class:`Scrubber` sweeps the usable region of a
+:class:`~repro.resilience.device.ResilientBlockDevice` in fixed-size
+batches, calling :meth:`scrub_block` on each block.  Each batch is one
+*step* — a bounded slice of work a driver can interleave with real I/O,
+either by calling :meth:`step` directly (the chaos harness does this
+between workload phases) or by letting :meth:`attach` schedule a
+bounded number of passes on the engine's
+:class:`~repro.engine.eventloop.EventLoop`.
+
+``attach`` is deliberately pass-bounded: ``EventLoop.run()`` drains the
+heap until it is empty, so an unconditionally self-rescheduling scrub
+event would keep the loop alive forever.  The scrubber reschedules
+itself only while it has passes left to finish.
+
+Scrub outcomes per block (see ``scrub_block`` for the semantics):
+``ok``, ``rescued``, ``healed``, ``lost``, ``lost-known`` — tallied in
+:class:`ScrubStats` and mirrored as ``resilience.scrub_*`` counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro import obs
+from repro.errors import DeviceDegraded, InvalidArgument
+
+
+@dataclass
+class ScrubStats:
+    """Cumulative scrub accounting across all passes."""
+
+    steps: int = 0
+    passes_completed: int = 0
+    blocks_scrubbed: int = 0
+    verdicts: Dict[str, int] = field(default_factory=dict)
+
+    def tally(self, verdict: str) -> None:
+        self.blocks_scrubbed += 1
+        self.verdicts[verdict] = self.verdicts.get(verdict, 0) + 1
+
+
+class Scrubber:
+    """Batched background verification sweep over a resilient device."""
+
+    def __init__(self, device, batch_blocks: int = None,
+                 interval: float = None) -> None:
+        policy = device.policy
+        self.device = device
+        self.batch_blocks = (batch_blocks if batch_blocks is not None
+                             else policy.scrub_batch_blocks)
+        self.interval = (interval if interval is not None
+                         else policy.scrub_interval)
+        if self.batch_blocks < 1:
+            raise InvalidArgument("scrub batch must cover at least 1 block")
+        self.stats = ScrubStats()
+        self._cursor = 0
+
+    @property
+    def position(self) -> int:
+        """Next block the scrubber will examine."""
+        return self._cursor
+
+    def step(self) -> Dict[str, int]:
+        """Scrub one batch; returns this step's verdict tally.
+
+        The cursor wraps at the end of the usable region, completing a
+        pass.  A device that can no longer serve reads (FAILED) ends
+        the step early and returns what was tallied so far.
+        """
+        total = self.device.total_blocks
+        verdicts: Dict[str, int] = {}
+        self.stats.steps += 1
+        for _ in range(min(self.batch_blocks, total)):
+            try:
+                verdict = self.device.scrub_block(self._cursor)
+            except DeviceDegraded:
+                break
+            self.stats.tally(verdict)
+            verdicts[verdict] = verdicts.get(verdict, 0) + 1
+            obs.count("resilience.scrub_blocks")
+            self._cursor += 1
+            if self._cursor >= total:
+                self._cursor = 0
+                self.stats.passes_completed += 1
+                obs.count("resilience.scrub_passes")
+                break
+        return verdicts
+
+    def run_pass(self) -> Dict[str, int]:
+        """Scrub until one full pass completes; returns the pass tally."""
+        start_passes = self.stats.passes_completed
+        tally: Dict[str, int] = {}
+        while self.stats.passes_completed == start_passes:
+            step = self.step()
+            for verdict, n in step.items():
+                tally[verdict] = tally.get(verdict, 0) + n
+            if not step:
+                break   # device failed mid-pass
+        return tally
+
+    def attach(self, loop, passes: int = 1) -> None:
+        """Schedule ``passes`` full sweeps on ``loop``, one step per
+        ``interval`` of simulated time.
+
+        Bounded on purpose: the engine's loop runs until its heap
+        drains, so the scrubber stops rescheduling once the requested
+        passes are done (or the device fails).
+        """
+        if passes < 1:
+            raise InvalidArgument("must schedule at least one scrub pass")
+        target = self.stats.passes_completed + passes
+
+        def tick() -> None:
+            step = self.step()
+            if self.stats.passes_completed >= target:
+                return
+            if not step and self.device.health.state.name == "FAILED":
+                return
+            loop.call_later(self.interval, tick)
+
+        loop.call_later(self.interval, tick)
+
+
+__all__ = ["ScrubStats", "Scrubber"]

@@ -394,3 +394,46 @@ class TestEngineFaults:
         text = render_multiclient(result)
         assert "retry" in text and "err" in text
         assert "retried" in text
+
+
+class TestDiskQueueRetryMetrics:
+    """Retry traffic must surface in the obs registry: a counter per
+    requeue and a latency histogram for requests that needed retries."""
+
+    LBAS = [20000, 400, 12000, 25000, 3000]
+
+    def test_retries_counted_and_latency_observed(self):
+        from repro import obs
+        from repro.faults import FaultSchedule
+
+        tracer = obs.install(obs.Tracer())
+        try:
+            # Dispatches 0 and 1 hit transients (each dispatch consumes
+            # one schedule index), so retry traffic definitely flows.
+            schedule = (FaultSchedule().fail_read(0, transient=True)
+                        .fail_read(1, transient=True))
+            queue, done = _faulty_burst("fcfs", self.LBAS, schedule)
+        finally:
+            obs.uninstall()
+        assert queue.stats.retried == 2
+        registry = tracer.registry
+        assert registry.counter("queue.retried").value == 2
+        assert registry.counter("queue.retried.read").value == 2
+        retried = [r for r in done if r.retries > 0]
+        assert retried and sum(r.retries for r in retried) == 2
+        hist = registry.histogram("queue.retry_latency")
+        # One observation per request that survived retries, measuring
+        # the client-visible latency: original submit (not the requeue's
+        # reset submit mark) to final completion.
+        assert hist.total == len(retried)
+        assert hist.sum == pytest.approx(sum(
+            r.complete_time - r.first_submit_time for r in retried))
+        assert hist.sum >= len(retried) * 0.002   # backoff sleeps included
+
+    def test_untraced_runs_cost_nothing_and_keep_stats(self):
+        from repro.faults import FaultSchedule
+
+        schedule = FaultSchedule().fail_read(0, transient=True)
+        queue, done = _faulty_burst("fcfs", self.LBAS, schedule)
+        assert queue.stats.retried == 1  # queue accounting works untraced
+        assert all(r.error is None for r in done)

@@ -195,3 +195,90 @@ class TestFileSystemOverFaults:
         assert report.pristine, report.render()
         fs.drop_caches()
         assert fs.read_file("/d/f01") == b"v" * 800
+
+
+class TestBatchPaths:
+    """read_batch/write_batch must route through the same fault machinery
+    as the extent paths: transients absorbed with latency, hard faults
+    raised with nothing landed, location faults honoured per block."""
+
+    def test_read_batch_clean_roundtrip(self):
+        dev = proxy()
+        dev.write_batch({4: block(4), 9: block(9), 10: block(10)})
+        out = dev.read_batch([4, 9, 10])
+        assert out == {4: block(4), 9: block(9), 10: block(10)}
+
+    def test_read_batch_transient_absorbed_with_latency(self):
+        s = FaultSchedule().fail_read(0, transient=True, failures=1)
+        dev = proxy(schedule=s, retry=RetryPolicy(backoff=0.25))
+        dev.write_batch({4: block(4), 9: block(9)})
+        before = dev.clock.now
+        out = dev.read_batch([4, 9])
+        assert out == {4: block(4), 9: block(9)}
+        assert dev.stats.transient_faults == 1
+        assert dev.clock.now - before >= 0.25  # the backoff was paid
+
+    def test_read_batch_hard_fault_raises(self):
+        s = FaultSchedule().fail_read(0)
+        dev = proxy(schedule=s)
+        with pytest.raises(MediaReadError):
+            dev.read_batch([3, 4, 5])
+        assert dev.stats.hard_read_faults == 1
+
+    def test_write_batch_transient_lands_everything(self):
+        s = FaultSchedule().fail_write(0, transient=True, failures=2)
+        dev = proxy(schedule=s)
+        nrequests = dev.write_batch({10: block(1), 11: block(2), 40: block(3)})
+        assert nrequests == 2  # coalesced runs [10,11] and [40]
+        for bno, tag in ((10, 1), (11, 2), (40, 3)):
+            assert dev.read_block(bno) == block(tag)
+        assert dev.stats.transient_faults == 2
+
+    def test_write_batch_hard_fault_lands_nothing_of_that_request(self):
+        s = FaultSchedule().fail_write(0)
+        dev = proxy(schedule=s)
+        with pytest.raises(MediaWriteError):
+            dev.write_batch({10: block(1), 11: block(2)})
+        assert dev.read_block(10) == bytes(BLOCK_SIZE)
+        assert dev.read_block(11) == bytes(BLOCK_SIZE)
+
+    def test_read_batch_weak_block_costs_latency_not_data(self):
+        s = FaultSchedule(seed=5).weaken_reads([30])
+        dev = proxy(schedule=s)
+        dev.write_batch({29: block(9), 30: block(7)})
+        before = dev.clock.now
+        out = dev.read_batch([29, 30])
+        assert out[29] == block(9) and out[30] == block(7)
+        assert dev.stats.weak_reads == 1
+        assert dev.clock.now > before
+
+    def test_read_batch_bad_block_poisons_covering_request(self):
+        s = FaultSchedule(seed=5).break_reads([31])
+        dev = proxy(schedule=s)
+        dev.write_batch({30: block(1), 31: block(2), 32: block(3)})
+        with pytest.raises(MediaReadError):
+            dev.read_batch([30, 31, 32])   # coalesces over the bad block
+        assert dev.read_block(30) == block(1)  # neighbours still fine alone
+        assert dev.stats.hard_read_faults >= 1
+
+    def test_write_batch_bad_block_refuses_covering_request(self):
+        s = FaultSchedule(seed=5).break_writes([21])
+        dev = proxy(schedule=s)
+        with pytest.raises(MediaWriteError):
+            dev.write_batch({20: block(1), 21: block(2)})
+        assert dev.read_block(20) == bytes(BLOCK_SIZE)
+        assert dev.stats.hard_write_faults == 1
+
+    def test_read_batch_rot_corrupts_silently_once(self):
+        s = FaultSchedule(seed=5).rot([42])
+        dev = proxy(schedule=s)
+        dev.write_batch({41: block(1), 42: block(2)})
+        s.rot([42])                       # re-arm: the write cancelled decay
+        out = dev.read_batch([41, 42])
+        assert out[41] == block(1)
+        assert out[42] != block(2)        # flipped bits, no error raised
+        assert sum(a != b for a, b in zip(out[42], block(2))) == 1
+        assert dev.stats.rot_corruptions == 1
+        # Decay is sticky: the same corrupt bytes on every later read.
+        assert dev.read_batch([42])[42] == out[42]
+        assert dev.stats.rot_corruptions == 1

@@ -255,6 +255,68 @@ def test_e001_taxonomy_and_contract_errors_clean():
     assert result.ok
 
 
+def test_e001_resilience_errors_are_registered():
+    # The self-healing additions are part of the taxonomy E001 reads
+    # from the live errors module.
+    from repro.lint.rules.errors_rule import TAXONOMY
+
+    assert {"ChecksumError", "DeviceDegraded", "ReadOnlyFileSystem",
+            "LintError", "ReproError"} <= TAXONOMY
+    result = lint_sources({
+        "src/repro/resilience/device.py": (
+            "from repro.errors import ChecksumError, ReadOnlyFileSystem\n\n"
+            "def verify(ok):\n"
+            "    if not ok:\n"
+            "        raise ChecksumError('mismatch')\n"
+            "    try:\n"
+            "        pass\n"
+            "    except (ChecksumError, ReadOnlyFileSystem):\n"
+            "        raise\n"
+        ),
+    })
+    assert result.ok
+
+
+def test_e001_broad_except_exception_flagged():
+    result = lint_sources({
+        "src/repro/faults/chaos.py": (
+            "def soak():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except (ValueError, Exception):\n"
+            "        pass\n"
+        ),
+    })
+    findings = [f for f in result.unsuppressed if f.rule == "E001"]
+    assert len(findings) == 1
+    assert "as broad as a bare except" in findings[0].message
+
+
+def test_e001_exception_class_outside_taxonomy_flagged():
+    result = lint_sources({
+        "src/repro/resilience/device.py": (
+            "from repro.errors import MediaError\n\n"
+            "class ScrubFailed(MediaError):\n"
+            "    pass\n"
+        ),
+    })
+    findings = [f for f in result.unsuppressed if f.rule == "E001"]
+    assert len(findings) == 1
+    assert "register it in the central taxonomy" in findings[0].message
+
+
+def test_e001_classes_inside_errors_module_allowed():
+    result = lint_sources({
+        "src/repro/errors.py": (
+            "class ReproError(Exception):\n"
+            "    pass\n\n"
+            "class ScrubFailed(ReproError):\n"
+            "    pass\n"
+        ),
+    })
+    assert result.ok
+
+
 # -- F001 struct formats ------------------------------------------------------
 
 
