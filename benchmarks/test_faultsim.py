@@ -4,7 +4,8 @@ Power-cut after every media block write of a 50-file workload, fsck
 in repair mode, remount, read back everything the application had
 synced.  The paper's recovery argument (ordering writes + a
 hierarchy-walking fsck; embedded inodes add no new crash windows)
-predicts 100% recovery on both formats under both metadata policies.
+predicts 100% recovery on both formats under all three metadata
+policies — synchronous, soft updates, and write-ahead journaling.
 """
 
 from benchmarks.conftest import save_artifact
@@ -21,7 +22,7 @@ def test_faultsim_recovery(benchmark):
     )
     save_artifact("faultsim_recovery", out.text)
     results = out.data["results"]
-    assert len(results) == 4  # {ffs, cffs} x {sync, softdep}
+    assert len(results) == 6  # {ffs, cffs} x {sync, softdep, journal}
     for r in results:
         # The full bar: every crash point repairs to pristine, remounts,
         # and loses no synced data.
@@ -33,12 +34,15 @@ def test_faultsim_recovery(benchmark):
         assert r.total_fixes > 0, (r.label, r.policy)
 
     by_key = {(r.label, r.policy): r for r in results}
-    # Soft updates issue fewer media writes than synchronous metadata
-    # (that's the point), so the sweep has fewer crash windows — and
-    # needs fewer fsck fixes per crash point on both formats.
     for label in ("ffs", "cffs"):
         sync = by_key[(label, "sync")]
         soft = by_key[(label, "softdep")]
+        journal = by_key[(label, "journal")]
+        # Soft updates issue fewer media writes than synchronous
+        # metadata (that's the point), so the sweep has fewer crash
+        # windows.
         assert soft.total_writes < sync.total_writes, label
-        assert (soft.total_fixes / soft.n_points
+        # Journal replay does the recovery work before the walk, so
+        # fsck has far less left to fix per crash point.
+        assert (journal.total_fixes / journal.n_points
                 < sync.total_fixes / sync.n_points), label

@@ -42,3 +42,11 @@ def test_fig5(benchmark):
             > 4.0 * conv["read"].files_per_second)
     assert (results["embedded"]["create"].requests_per_file
             < conv["create"].requests_per_file - 0.8)
+
+    # Journaling turns the random synchronous ordering writes into
+    # sequential log commits: creates speed up, reads are untouched.
+    journal = results["cffs-journal"]
+    assert (journal["create"].files_per_second
+            > 1.2 * cffs["create"].files_per_second)
+    assert (journal["read"].files_per_second
+            > 0.9 * cffs["read"].files_per_second)

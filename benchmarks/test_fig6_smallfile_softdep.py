@@ -31,3 +31,11 @@ def test_fig6(benchmark):
     # this is the interaction the paper discusses.
     emb_create = results["embedded"]["create"].files_per_second
     assert emb_create < 2.0 * conv["create"].files_per_second
+
+    # Journaling stays within reach of soft updates (it still pays for
+    # the log) while giving the same read throughput.
+    journal = results["cffs-journal"]
+    assert (journal["create"].files_per_second
+            > 0.7 * cffs["create"].files_per_second)
+    assert (journal["read"].files_per_second
+            > 0.9 * cffs["read"].files_per_second)

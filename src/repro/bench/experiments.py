@@ -155,6 +155,24 @@ def _smallfile_grid(
     return results
 
 
+def _with_journal_series(
+    results: Dict[str, SmallFileResult],
+    n_files: int,
+    file_size: int,
+    labels: Sequence[str],
+) -> Dict[str, SmallFileResult]:
+    """Append the write-ahead-journaling run of the full C-FFS
+    configuration — the third integrity mode next to synchronous
+    writes and soft updates."""
+    if "cffs" not in labels:
+        return results
+    fs = build_filesystem("cffs", MetadataPolicy.JOURNAL_METADATA)
+    results["cffs-journal"] = run_smallfile(
+        fs, n_files=n_files, file_size=file_size, label="cffs-journal"
+    )
+    return results
+
+
 def _render_smallfile(title: str, results: Dict[str, SmallFileResult]) -> str:
     table = Table(title, ["configuration"] + ["%s (files/s)" % p for p in PHASES])
     for label, res in results.items():
@@ -182,8 +200,10 @@ def fig5_smallfile(
     file_size: int = 1024,
     labels: Sequence[str] = tuple(GRID),
 ) -> ExperimentOutput:
-    """Small-file benchmark, synchronous metadata (paper §4.2)."""
+    """Small-file benchmark, synchronous metadata (paper §4.2), plus
+    the journaling C-FFS series for the integrity-mode comparison."""
     results = _smallfile_grid(MetadataPolicy.SYNC_METADATA, n_files, file_size, labels)
+    results = _with_journal_series(results, n_files, file_size, labels)
     return ExperimentOutput(
         "fig5",
         _render_smallfile("Small-file benchmark, sync metadata", results),
@@ -196,12 +216,13 @@ def fig6_smallfile_softdep(
     file_size: int = 1024,
     labels: Sequence[str] = tuple(GRID),
 ) -> ExperimentOutput:
-    """Figure 6: the same benchmark with soft updates emulated by
-    delayed metadata writes."""
+    """Figure 6: the same benchmark with dependency-tracked soft
+    updates, plus the journaling C-FFS series."""
     results = _smallfile_grid(MetadataPolicy.DELAYED_METADATA, n_files, file_size, labels)
+    results = _with_journal_series(results, n_files, file_size, labels)
     return ExperimentOutput(
         "fig6",
-        _render_smallfile("Small-file benchmark, soft-updates emulation", results),
+        _render_smallfile("Small-file benchmark, soft updates", results),
         {"results": results},
     )
 
@@ -584,7 +605,8 @@ def faultsim_recovery(
                           seed=seed, stride=stride)
         for label in labels
         for policy in (MetadataPolicy.SYNC_METADATA,
-                       MetadataPolicy.DELAYED_METADATA)
+                       MetadataPolicy.DELAYED_METADATA,
+                       MetadataPolicy.JOURNAL_METADATA)
     ]
     table = _Table(
         "Crash-point sweep: power-cut after every media write, "

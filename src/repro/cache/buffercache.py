@@ -11,6 +11,33 @@ blocks of one file [McVoy91]; C-FFS uses it to write all dirty blocks
 of an explicit group as a unit.  The gathered set is flushed through
 :meth:`BlockDevice.write_batch`, which applies C-LOOK ordering and
 coalesces adjacent blocks into single scatter/gather requests.
+
+A second, orthogonal seam is the *write pipeline*: an object installed
+as ``cache.write_pipeline`` that gets a veto and a rewrite over every
+dirty block leaving the cache.  This is how the crash-consistency
+mechanisms in ``repro.journal`` plug in without the cache knowing
+about them — the soft-updates tracker substitutes rolled-back images
+for blocks whose ordering dependencies are not yet on disk, and the
+write-ahead journal forces a log commit before journaled blocks go
+home.  The duck-typed contract:
+
+- ``prepare(bno, data)`` → ``None`` (defer this block: do not write
+  it, leave it dirty) or ``(image, fully_clean)`` (write ``image``;
+  when ``fully_clean`` is false the buffer stays dirty — it was
+  written rolled back and must be revisited);
+- ``committed(bnos)`` — the prepared images of ``bnos`` have been
+  handed to the device;
+- ``ready(bno)`` → may this buffer be evicted (written in full) right
+  now?  The pipeline may perform I/O of its own (a log commit) to
+  answer yes;
+- ``pre_flush()`` / ``post_flush()`` — bracket a full :meth:`flush`
+  (transaction commit before, checkpoint after);
+- ``forgotten(bno)`` — the buffer was dropped without being written
+  (its block was freed); any tracked state for it must be released.
+
+:meth:`sync` repeats :meth:`flush` until no dirty buffers remain,
+because a pipeline that defers or rolls back blocks needs multiple
+passes to converge (each pass makes strictly more updates durable).
 """
 
 from __future__ import annotations
@@ -27,6 +54,12 @@ from repro.errors import ChecksumError, InvalidArgument
 # travel to disk with it (must include the victim itself).
 FlushCompanionsHook = Callable[[int], Iterable[int]]
 
+#: Upper bound on flush passes inside :meth:`BufferCache.sync`.  A
+#: correct pipeline converges long before this (every pass makes at
+#: least one deferred update durable); hitting the bound means a
+#: dependency cycle, which the ordering rules are supposed to exclude.
+_MAX_SYNC_PASSES = 256
+
 
 class BufferCache:
     """LRU block cache indexed by physical address and logical identity."""
@@ -40,6 +73,7 @@ class BufferCache:
         self._logical: Dict[LogicalId, Buffer] = {}
         self._dirty: Set[int] = set()
         self.flush_companions: Optional[FlushCompanionsHook] = None
+        self.write_pipeline = None  # see module docstring for the contract
         self._evicting = False
         # Statistics.
         self.hits = 0
@@ -124,9 +158,18 @@ class BufferCache:
     def write_sync(self, bno: int) -> None:
         """Write the buffer through to the device immediately (timed)."""
         buf = self._phys[bno]
-        self.device.write_block(bno, bytes(buf.data))
-        buf.dirty = False
-        self._dirty.discard(bno)
+        image, clean = bytes(buf.data), True
+        if self.write_pipeline is not None:
+            prepared = self.write_pipeline.prepare(bno, image)
+            if prepared is None:
+                return  # pipeline defers this block; it stays dirty
+            image, clean = prepared
+        self.device.write_block(bno, image)
+        if self.write_pipeline is not None:
+            self.write_pipeline.committed([bno])
+        if clean:
+            buf.dirty = False
+            self._dirty.discard(bno)
 
     # -- flushing and eviction ------------------------------------------------------
 
@@ -134,41 +177,82 @@ class BufferCache:
     def dirty_count(self) -> int:
         return len(self._dirty)
 
+    def _prepare_writes(self, block_numbers: Iterable[int]):
+        """Pipeline-filtered (writes, cleaned) for the given dirty blocks."""
+        writes: Dict[int, bytes] = {}
+        cleaned = []
+        for bno in block_numbers:
+            buf = self._phys.get(bno)
+            if buf is None or not buf.dirty:
+                continue
+            image, clean = bytes(buf.data), True
+            if self.write_pipeline is not None:
+                prepared = self.write_pipeline.prepare(bno, image)
+                if prepared is None:
+                    continue  # deferred: dependencies not durable yet
+                image, clean = prepared
+            writes[bno] = image
+            if clean:
+                cleaned.append(bno)
+        return writes, cleaned
+
     def flush(self) -> int:
-        """Write every dirty buffer (batched, C-LOOK); returns request count."""
+        """Write every writable dirty buffer (batched, C-LOOK); returns
+        the request count.  With a write pipeline installed some blocks
+        may be deferred or written rolled back and stay dirty — see
+        :meth:`sync` for the converging loop."""
         if not self._dirty:
             return 0
+        if self.write_pipeline is not None:
+            self.write_pipeline.pre_flush()
+        writes, cleaned = self._prepare_writes(list(self._dirty))
+        if not writes:
+            return 0
         with obs.span("cache", "flush") as sp:
-            writes = {bno: bytes(self._phys[bno].data) for bno in self._dirty}
             nreq = self.device.write_batch(writes)
             sp.incr("blocks", len(writes))
             sp.incr("requests", nreq)
-        for bno in writes:
+        if self.write_pipeline is not None:
+            self.write_pipeline.committed(list(writes))
+        for bno in cleaned:
             self._phys[bno].dirty = False
-        self._dirty.clear()
+            self._dirty.discard(bno)
+        if self.write_pipeline is not None:
+            self.write_pipeline.post_flush()
         return nreq
 
     def flush_blocks(self, block_numbers: Iterable[int]) -> int:
         """Write the given blocks if dirty (batched); returns requests."""
-        writes = {}
-        for bno in block_numbers:
-            buf = self._phys.get(bno)
-            if buf is not None and buf.dirty:
-                writes[bno] = bytes(buf.data)
+        writes, cleaned = self._prepare_writes(block_numbers)
         if not writes:
             return 0
         with obs.span("cache", "flush_blocks") as sp:
             nreq = self.device.write_batch(writes)
             sp.incr("blocks", len(writes))
             sp.incr("requests", nreq)
-        for bno in writes:
+        if self.write_pipeline is not None:
+            self.write_pipeline.committed(list(writes))
+        for bno in cleaned:
             self._phys[bno].dirty = False
             self._dirty.discard(bno)
         return nreq
 
     def sync(self) -> int:
-        """Flush dirty buffers and drain the drive's write-behind buffer."""
+        """Flush dirty buffers to convergence and drain the drive's
+        write-behind buffer."""
         nreq = self.flush()
+        for _ in range(_MAX_SYNC_PASSES):
+            if not self._dirty:
+                break
+            made = self.flush()
+            nreq += made
+            if made == 0 and self._dirty:
+                raise InvalidArgument(
+                    "write pipeline deferred %d block(s) with no progress "
+                    "(ordering dependency cycle?)" % len(self._dirty))
+        else:
+            raise InvalidArgument(
+                "cache sync did not converge in %d passes" % _MAX_SYNC_PASSES)
         self.device.flush()
         return nreq
 
@@ -192,6 +276,8 @@ class BufferCache:
         if buf is None:
             return
         self._dirty.discard(bno)
+        if self.write_pipeline is not None:
+            self.write_pipeline.forgotten(bno)
         if buf.logical is not None:
             self._logical.pop(buf.logical, None)
 
@@ -210,10 +296,32 @@ class BufferCache:
         buf.logical = logical
         self._logical[logical] = buf
 
+    def _pick_victim(self) -> Optional[int]:
+        """The least-recently-used buffer the pipeline allows us to
+        evict (clean, or writable in full right now)."""
+        for bno, buf in self._phys.items():
+            if not buf.dirty:
+                return bno
+            if self.write_pipeline is None or self.write_pipeline.ready(bno):
+                return bno
+        return None
+
     def _evict_one(self) -> None:
-        """Evict the least-recently-used buffer, flushing it (and its
+        """Evict an evictable buffer (LRU order), flushing it (and its
         gather companions) if dirty."""
-        victim_bno = next(iter(self._phys))
+        victim_bno = self._pick_victim()
+        if victim_bno is None:
+            # Every buffer is dirty and ordering-deferred: flush passes
+            # make updates durable until a victim frees up.
+            for _ in range(_MAX_SYNC_PASSES):
+                self.flush()
+                victim_bno = self._pick_victim()
+                if victim_bno is not None:
+                    break
+            else:
+                raise InvalidArgument(
+                    "no evictable buffer after %d flush passes"
+                    % _MAX_SYNC_PASSES)
         victim = self._phys[victim_bno]
         if victim.dirty:
             companions = set([victim_bno])
@@ -226,15 +334,13 @@ class BufferCache:
                     companions.update(self.flush_companions(victim_bno))
                 finally:
                     self._evicting = False
-            writes = {}
-            for bno in companions:
-                buf = self._phys.get(bno)
-                if buf is not None and buf.dirty:
-                    writes[bno] = bytes(buf.data)
+            writes, cleaned = self._prepare_writes(companions)
             with obs.span("cache", "evict_writeback", victim=victim_bno) as sp:
                 sp.incr("blocks", len(writes))
                 self.device.write_batch(writes)
-            for bno in writes:
+            if self.write_pipeline is not None and writes:
+                self.write_pipeline.committed(list(writes))
+            for bno in cleaned:
                 self._phys[bno].dirty = False
                 self._dirty.discard(bno)
         self._phys.pop(victim_bno, None)

@@ -1,4 +1,5 @@
-"""Metadata write policies (the paper's two integrity modes)."""
+"""Metadata write policies (the paper's two integrity modes, plus a
+write-ahead journal)."""
 
 from __future__ import annotations
 
@@ -13,15 +14,31 @@ class MetadataPolicy(enum.Enum):
     entry, directory entry removal before inode free) are written
     synchronously, serializing the operation on disk arm movement.
 
-    DELAYED_METADATA emulates soft updates [Ganger95] the way the paper
-    does: every metadata write becomes a delayed write, flushed by
-    cache pressure or an explicit sync.  [Ganger94] shows this
-    accurately predicts the performance impact of soft updates.
+    DELAYED_METADATA is soft updates [Ganger95]: every metadata write
+    becomes a delayed write carrying its ordering dependencies, and the
+    buffer cache's writeback path rolls back not-yet-safe updates so
+    that no write that reaches the disk ever violates the ordering
+    rules (see ``repro.journal.softdep``).
+
+    JOURNAL_METADATA is write-ahead metadata journaling: ordered
+    updates are batched into transactions appended to a reserved log
+    region (group commit), and mount-time replay of the committed tail
+    recovers the volume without a full fsck walk (see
+    ``repro.journal.wal``).
     """
 
     SYNC_METADATA = "sync"
     DELAYED_METADATA = "softdep"
+    JOURNAL_METADATA = "journal"
 
     @property
     def is_sync(self) -> bool:
         return self is MetadataPolicy.SYNC_METADATA
+
+    @property
+    def is_softdep(self) -> bool:
+        return self is MetadataPolicy.DELAYED_METADATA
+
+    @property
+    def is_journal(self) -> bool:
+        return self is MetadataPolicy.JOURNAL_METADATA

@@ -12,6 +12,8 @@
     python -m repro regroup site.img /dir            # re-co-locate small files
     python -m repro fsck site.img
     python -m repro fsck site.img --repair            # fix and write back
+    python -m repro mkfs site.img --policy journal    # reserve a log region
+    python -m repro journal site.img                  # inspect the log
     python -m repro faultsim --files 50               # crash-point sweep
     python -m repro mkfs site.img --resilient         # self-healing device
     python -m repro chaos --scenario sustained        # decaying-media soak
@@ -41,6 +43,34 @@ from repro.ffs import layout as flayout
 from repro.ffs.filesystem import FFS, FFSConfig
 from repro.fsck import fsck_cffs, fsck_ffs, fsck_resilience, is_resilient, open_logical
 from repro.resilience import ResiliencePolicy, ResilientBlockDevice
+
+
+#: CLI spelling -> metadata policy; the single place the mapping lives.
+POLICY_NAMES = {
+    "sync": MetadataPolicy.SYNC_METADATA,
+    "softdep": MetadataPolicy.DELAYED_METADATA,
+    "journal": MetadataPolicy.JOURNAL_METADATA,
+}
+
+
+def add_policy_argument(parser, default: str = "sync",
+                        extra_choices: tuple = ()) -> None:
+    """The common ``--policy`` flag (plus ``--softdep`` as a hidden
+    legacy alias) shared by every command that builds a file system."""
+    parser.add_argument(
+        "--policy", choices=tuple(POLICY_NAMES) + extra_choices,
+        default=default,
+        help="metadata policy: synchronous ordering writes, soft-update "
+             "dependency tracking, or write-ahead journaling")
+    parser.add_argument("--softdep", action="store_true",
+                        help=argparse.SUPPRESS)
+
+
+def policy_from_args(args) -> MetadataPolicy:
+    """Resolve the shared policy flags to a :class:`MetadataPolicy`."""
+    if getattr(args, "softdep", False):
+        return MetadataPolicy.DELAYED_METADATA
+    return POLICY_NAMES[args.policy]
 
 
 def _magic_of(device) -> int:
@@ -83,12 +113,14 @@ def cmd_mkfs(args) -> int:
     if args.resilient:
         target = ResilientBlockDevice.format(
             device, ResiliencePolicy(n_spares=args.spares))
+    policy = policy_from_args(args)
     if args.fs == "ffs":
-        fs = FFS.mkfs(target, FFSConfig())
+        fs = FFS.mkfs(target, FFSConfig(policy=policy))
     else:
         fs = CFFS.mkfs(target, CFFSConfig(
             embedded_inodes=not args.no_embed,
             explicit_grouping=not args.no_group,
+            policy=policy,
         ))
     _save(fs, args.image)
     print("created %s: %s on %s (%.2f GB)%s" % (
@@ -233,6 +265,24 @@ def cmd_fsck(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_journal(args) -> int:
+    from repro.journal import describe_journal
+
+    device = _open_device(args.image)
+    magic = _magic_of(device)
+    if magic == clayout.CFFS_MAGIC:
+        sb = clayout.unpack_superblock(device.peek_block(0))
+    elif magic == flayout.FFS_MAGIC:
+        sb = flayout.unpack_superblock(device.peek_block(0))
+    else:
+        print("unrecognizable file system (magic 0x%x)" % magic,
+              file=sys.stderr)
+        return 2
+    print(describe_journal(device, int(sb["journal_start"]),
+                           int(sb["journal_blocks"])))
+    return 0
+
+
 def cmd_faultsim(args) -> int:
     from repro.faults.harness import FAULT_FSES, crash_point_sweep, render_sweep
 
@@ -243,10 +293,13 @@ def cmd_faultsim(args) -> int:
             print("unknown file system %r; known: both, %s"
                   % (label, ", ".join(FAULT_FSES)), file=sys.stderr)
             return 2
-    policies = ([MetadataPolicy.SYNC_METADATA, MetadataPolicy.DELAYED_METADATA]
-                if args.policy == "both"
-                else [MetadataPolicy.DELAYED_METADATA if args.policy == "softdep"
-                      else MetadataPolicy.SYNC_METADATA])
+    if args.policy == "all":
+        policies = list(POLICY_NAMES.values())
+    elif args.policy == "both":
+        policies = [MetadataPolicy.SYNC_METADATA,
+                    MetadataPolicy.DELAYED_METADATA]
+    else:
+        policies = [policy_from_args(args)]
     results = [
         crash_point_sweep(label, policy=policy, n_files=args.files,
                           seed=args.seed, stride=args.stride,
@@ -299,8 +352,7 @@ def cmd_bench(args) -> int:
     from repro import obs
     from repro.workloads import build_filesystem, run_smallfile
 
-    policy = (MetadataPolicy.DELAYED_METADATA if args.softdep
-              else MetadataPolicy.SYNC_METADATA)
+    policy = policy_from_args(args)
     print("small-file benchmark: %d x %d B files, %s metadata" % (
         args.files, args.size, policy.value,
     ))
@@ -333,8 +385,7 @@ def cmd_bench(args) -> int:
 def cmd_multiclient(args) -> int:
     from repro.engine import SCHEDULERS, render_multiclient, run_multiclient
 
-    policy = (MetadataPolicy.DELAYED_METADATA if args.softdep
-              else MetadataPolicy.SYNC_METADATA)
+    policy = policy_from_args(args)
     if args.scheduler not in SCHEDULERS:
         print("unknown scheduler %r; known: %s"
               % (args.scheduler, ", ".join(SCHEDULERS)), file=sys.stderr)
@@ -368,8 +419,7 @@ def cmd_trace(args) -> int:
     from repro.workloads.hypertext import build_site, serve_documents
     from repro.workloads.postmark import PostmarkConfig, run_postmark
 
-    policy = (MetadataPolicy.DELAYED_METADATA if args.softdep
-              else MetadataPolicy.SYNC_METADATA)
+    policy = policy_from_args(args)
     fs = build_filesystem(resolve_label(args.fs), policy)
     # Share the disk's registry so the --metrics snapshot carries the
     # drive counters and request-size histogram alongside trace counts.
@@ -432,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spares", type=int, default=32,
                    help="spare blocks for bad-block remapping "
                         "(with --resilient)")
+    add_policy_argument(p)
     p.set_defaults(func=cmd_mkfs)
 
     p = sub.add_parser("info", help="describe an image")
@@ -482,12 +533,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fsck)
 
     p = sub.add_parser(
+        "journal",
+        help="inspect an image's write-ahead log: geometry, checkpoint, "
+             "pending transactions")
+    p.add_argument("image")
+    p.set_defaults(func=cmd_journal)
+
+    p = sub.add_parser(
         "faultsim",
         help="crash-point sweep: power-cut, repair, remount, verify")
     p.add_argument("--fs", default="both",
                    help="both, or comma-separated subset of: ffs, cffs")
-    p.add_argument("--policy", choices=("sync", "softdep", "both"),
-                   default="both")
+    p.add_argument("--policy",
+                   choices=tuple(POLICY_NAMES) + ("both", "all"),
+                   default="all",
+                   help="one policy, 'both' (sync+softdep), or 'all' "
+                        "(sync+softdep+journal; the default)")
     p.add_argument("--files", type=int, default=50,
                    help="workload size (files created during the run)")
     p.add_argument("--stride", type=int, default=1,
@@ -530,7 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="smallfile")
     p.add_argument("--phases", default="create,read",
                    help="smallfile phases to run (comma-separated)")
-    p.add_argument("--softdep", action="store_true")
+    add_policy_argument(p)
     p.add_argument("--trace", metavar="PATH",
                    help="record spans during the run and export them here")
     p.add_argument("--trace-format", choices=("chrome", "jsonl", "flame"),
@@ -553,7 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--files", type=int, default=2000)
     p.add_argument("--size", type=int, default=1024)
     p.add_argument("--configs", default="conventional,cffs")
-    p.add_argument("--softdep", action="store_true")
+    add_policy_argument(p)
     p.add_argument("--trace", metavar="PATH",
                    help="record spans during the run and export them here")
     p.add_argument("--trace-format", choices=("chrome", "jsonl", "flame"),
@@ -579,7 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", metavar="PATH",
                    help="also write a metrics-registry snapshot JSON here")
     p.add_argument("--seed", type=int, default=1997)
-    p.add_argument("--softdep", action="store_true")
+    add_policy_argument(p)
     p.set_defaults(func=cmd_trace)
 
     return parser

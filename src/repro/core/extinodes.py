@@ -12,13 +12,14 @@ block.  External inode numbers are 1-based slot indexes.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.blockdev.device import BLOCK_SIZE
 from repro.core import layout
 from repro.core.inode import CNode, LOC_EXT
 from repro.errors import CorruptFileSystem, FileNotFound
 from repro.ffs import mapping
+from repro.ffs.base import OrderToken
 
 EXT_TABLE_FILEID = 2  # reserved logical identity for table blocks
 SLOT_SIZE = 128
@@ -90,33 +91,36 @@ class ExtInodeTable:
         node.home_cg = self.fs.alloc.cg_of_block(bno)
         return node
 
-    def store(self, inum: int, node: CNode, sync: bool) -> None:
+    def store(self, inum: int, node: CNode, sync: bool,
+              requires: Tuple = ()) -> OrderToken:
         bno, blk, off = self._locate(inum)
         buf = self.fs.cache.get(bno, logical=(EXT_TABLE_FILEID, blk))
         buf.data[off:off + layout.CINODE_SIZE] = node.pack()
-        if sync and self.fs.policy.is_sync:
-            self.fs.cache.write_sync(bno)
-        else:
-            self.fs.cache.mark_dirty(bno)
+        if sync:
+            return self.fs._meta_write(bno, requires)
+        self.fs.cache.mark_dirty(bno)
+        return None
 
-    def allocate(self, node: CNode, sync: bool) -> int:
-        """Place ``node`` in a free slot (growing the table if needed)."""
+    def allocate(self, node: CNode, sync: bool) -> Tuple[int, OrderToken]:
+        """Place ``node`` in a free slot (growing the table if needed);
+        returns (inum, ordering token of the slot write)."""
         inum = self._take_free()
+        grow_token = None
         if inum is None:
-            inum = self._grow()
+            inum, grow_token = self._grow()
         node.loc = (LOC_EXT, inum)
-        self.store(inum, node, sync=sync)
-        return inum
+        token = self.store(inum, node, sync=sync, requires=(grow_token,))
+        return inum, token
 
-    def free(self, inum: int, sync: bool) -> None:
+    def free(self, inum: int, sync: bool, requires: Tuple = ()) -> OrderToken:
         bno, blk, off = self._locate(inum)
         buf = self.fs.cache.get(bno, logical=(EXT_TABLE_FILEID, blk))
         buf.data[off:off + SLOT_SIZE] = bytes(SLOT_SIZE)
-        if sync and self.fs.policy.is_sync:
-            self.fs.cache.write_sync(bno)
-        else:
-            self.fs.cache.mark_dirty(bno)
         self._free.append(inum)
+        if sync:
+            return self.fs._meta_write(bno, requires)
+        self.fs.cache.mark_dirty(bno)
+        return None
 
     def drop_hints(self) -> None:
         self._free.clear()
@@ -147,7 +151,7 @@ class ExtInodeTable:
                     self._free.append(blk * SLOTS_PER_BLOCK + slot + 1)
         self._scanned = True
 
-    def _grow(self) -> int:
+    def _grow(self) -> Tuple[int, OrderToken]:
         blk = self.fs.sb["ext_size"] // BLOCK_SIZE
         bno, _ = mapping.bmap_ensure(
             self.fs.cache, self._map, blk,
@@ -155,12 +159,13 @@ class ExtInodeTable:
             alloc_meta=self.fs._alloc_ext_table_block,
         )
         self.fs.cache.create(bno, logical=(EXT_TABLE_FILEID, blk))
-        self.fs.cache.mark_dirty(bno)
+        init_token = self.fs._meta_write(bno)  # zeroed slots first
         self.fs.sb["ext_size"] += BLOCK_SIZE
         # Ordering: the superblock must reference the new table block
         # before any directory entry references a slot inside it — a
         # crash in between must never leave dangling external inums.
-        self.fs._store_superblock(sync_op=True)
+        sb_token = self.fs._store_superblock(sync_op=True,
+                                             requires=(init_token,))
         base = blk * SLOTS_PER_BLOCK
         self._free.extend(range(base + 2, base + SLOTS_PER_BLOCK + 1))
-        return base + 1
+        return base + 1, sb_token

@@ -48,7 +48,8 @@ from repro.errors import (
 from repro.ffs import layout as flayout
 from repro.ffs import mapping
 from repro.ffs.alloc import GroupedAllocator
-from repro.ffs.base import BlockFileSystem
+from repro.ffs.base import BlockFileSystem, OrderToken
+from repro.journal import Journal, default_journal_blocks, timed_replay
 from repro.vfs.stat import FileKind, StatResult
 
 ROOT_FILEID = 1
@@ -68,6 +69,7 @@ class CFFSConfig:
     policy: MetadataPolicy = MetadataPolicy.SYNC_METADATA
     cache_blocks: int = 4096
     file_readahead_blocks: int = 0  # FS-level sequential prefetch (off)
+    journal_blocks: Optional[int] = None  # None = auto-size (journal policy)
 
     @property
     def gdt_blocks(self) -> int:
@@ -178,9 +180,20 @@ class CFFS(BlockFileSystem):
         config = config if config is not None else CFFSConfig()
         fs = cls(device, config)
         total = device.total_blocks
-        n_cgs = (total - 1) // config.blocks_per_cg
+        # A journal policy carves its log region out of the post-cg tail
+        # (just before the superblock replica); other policies keep the
+        # historical layout byte-for-byte.
+        jb = 0
+        if config.policy.is_journal:
+            jb = (config.journal_blocks if config.journal_blocks is not None
+                  else default_journal_blocks(total))
+        if jb:
+            n_cgs = (total - 2 - jb) // config.blocks_per_cg
+        else:
+            n_cgs = (total - 1) // config.blocks_per_cg
         if n_cgs < 1:
             raise InvalidArgument("device too small for one cylinder group")
+        journal_start = 1 + n_cgs * config.blocks_per_cg if jb else 0
         data_area = config.blocks_per_cg - config.data_start
         usable = (data_area // config.group_span) * config.group_span
         fs.sb = {
@@ -203,8 +216,13 @@ class CFFS(BlockFileSystem):
             "ext_direct": [0] * 12,
             "ext_indirect": 0,
             "ext_dindirect": 0,
+            "journal_start": journal_start,
+            "journal_blocks": jb,
         }
         fs._build_tables()
+        if jb:
+            Journal.format(device, journal_start, jb)
+        fs._attach_crash_consistency(journal_start, jb)
         from repro.ffs.layout import pack_cg
 
         for cgi in range(n_cgs):
@@ -251,6 +269,14 @@ class CFFS(BlockFileSystem):
                 embedded_inodes=bool(probe["config_flags"] & layout.SBF_EMBEDDED_INODES),
                 explicit_grouping=bool(probe["config_flags"] & layout.SBF_EXPLICIT_GROUPING),
             )
+        # Replay the journal (if the volume carries one) before the first
+        # cache fill, so the cache only ever sees post-replay state.
+        # This IS the fast remount path: a sequential log read plus one
+        # batched home write, instead of a full fsck walk.
+        probe_sb = layout.unpack_superblock(device.peek_block(0))
+        if probe_sb["magic"] == layout.CFFS_MAGIC and probe_sb["journal_start"]:
+            timed_replay(device, probe_sb["journal_start"],
+                         probe_sb["journal_blocks"])
         fs = cls(device, config)
         raw = bytes(fs.cache.get(0).data)
         sb = layout.unpack_superblock(raw)
@@ -265,6 +291,8 @@ class CFFS(BlockFileSystem):
             )
         fs.sb = sb
         fs._build_tables()
+        fs._attach_crash_consistency(int(sb["journal_start"]),
+                                     int(sb["journal_blocks"]))
         root = CNode.unpack(layout.root_inode_bytes(raw))
         root.loc = (LOC_SUPER,)
         root.home_cg = 0
@@ -331,43 +359,59 @@ class CFFS(BlockFileSystem):
         atomicity property, applied to write-back.
         """
         nreq = 0
+        chain: List[int] = []
         node: Optional[CNode] = handle
         while node is not None:
-            nreq += self.cache.flush_blocks([self._metadata_block_of(node)])
+            chain.append(self._metadata_block_of(node))
+            nreq += self.cache.flush_blocks([chain[-1]])
             if node.loc[0] == LOC_DIR:
                 node = node.loc[1]
             elif node.loc[0] == LOC_EXT:
                 # External table pointers live in the superblock.
+                chain.append(0)
                 nreq += self.cache.flush_blocks([0])
                 node = None
             else:
                 node = None
+        if self.cache.write_pipeline is not None:
+            # A write pipeline may have deferred chain blocks behind
+            # their ordering dependencies; fsync must stay a durability
+            # barrier, so sync the dependency graph to completion.
+            for bno in chain:
+                buf = self.cache.peek(bno)
+                if buf is not None and buf.dirty:
+                    nreq += self.cache.sync()
+                    break
         return nreq
 
-    def _istore(self, handle: CNode, sync_op: bool = False) -> None:
+    def _istore(self, handle: CNode, sync_op: bool = False,
+                requires: Tuple = ()) -> OrderToken:
         tag = handle.loc[0]
         if tag == LOC_SUPER:
-            self._store_superblock(sync_op)
-        elif tag == LOC_DIR:
+            return self._store_superblock(sync_op, requires)
+        if tag == LOC_DIR:
             _, parent, blk, _entry_off, payload_off = handle.loc
             bno = self._dir_block_bno(parent, blk)
             buf = self.cache.get(bno, logical=(parent.fileid, blk))
             dirfmt.rewrite_payload(buf.data, payload_off, handle.pack())
             if sync_op:
-                self._meta_write(bno)
-            else:
-                self.cache.mark_dirty(bno)
-        elif tag == LOC_EXT:
-            self.ext.store(handle.loc[1], handle, sync=sync_op)
-        else:  # pragma: no cover - defensive
-            raise CorruptFileSystem("inode with unknown location %r" % (handle.loc,))
+                return self._meta_write(bno, requires)
+            self.cache.mark_dirty(bno)
+            return None
+        if tag == LOC_EXT:
+            return self.ext.store(handle.loc[1], handle, sync=sync_op,
+                                  requires=requires)
+        raise CorruptFileSystem(  # pragma: no cover - defensive
+            "inode with unknown location %r" % (handle.loc,))
 
-    def _store_superblock(self, sync_op: bool = False) -> None:
+    def _store_superblock(self, sync_op: bool = False,
+                          requires: Tuple = ()) -> OrderToken:
         buf = self.cache.get(0)
         root = self._root if self._root is not None else CNode(ROOT_FILEID)
         buf.data[:] = layout.pack_superblock(self.sb, root.pack())
+        token = None
         if sync_op:
-            self._meta_write(0)
+            token = self._meta_write(0, requires)
         else:
             self.cache.mark_dirty(0)
         rb = flayout.replica_block(
@@ -380,6 +424,7 @@ class CFFS(BlockFileSystem):
                 rbuf = self.cache.create(rb)
             rbuf.data[:] = buf.data
             self.cache.mark_dirty(rb)
+        return token
 
     # ------------------------------------------------------------------ application hints
 
@@ -815,10 +860,12 @@ class CFFS(BlockFileSystem):
         )
         buf = self.cache.create(bno, logical=(dirh.fileid, blk))
         buf.data[:] = dirfmt.init_dir_block()
-        self._meta_write(bno)
+        # Ordering: the initialized directory block reaches disk before
+        # the inode's grown size exposes it to the lookup path.
+        init_token = self._meta_write(bno)
         dirh.nblocks += 1
         dirh.size += BLOCK_SIZE
-        self._istore(dirh, sync_op=True)
+        self._istore(dirh, sync_op=True, requires=(init_token,))
         index = self._dir_index.get(dirh.fileid)
         if index is not None:
             for sector in range(layout.SECTORS_PER_DIR_BLOCK):
@@ -926,11 +973,11 @@ class CFFS(BlockFileSystem):
             node.loc = (LOC_DIR, dirh, blk, entry_off, payload_off)
             self._meta_write(bno)  # the single ordering write
         else:
-            inum = self.ext.allocate(node, sync=True)  # inode before name
+            inum, init_token = self.ext.allocate(node, sync=True)  # inode before name
             _blk, bno, _eo, _po = self._dir_insert(
                 dirh, name, dirfmt.ET_EXTERNAL, kind, struct.pack("<Q", inum)
             )
-            self._meta_write(bno)
+            self._meta_write(bno, requires=(init_token,))
         self._icache[node.fileid] = node
         return node
 
@@ -949,20 +996,27 @@ class CFFS(BlockFileSystem):
         if etype == dirfmt.ET_EMBEDDED:
             node = self._lookup(dirh, name)
             bno = self._dir_remove(dirh, name)
-            self._meta_write(bno)  # name + inode vanish atomically
-            self._release_all_blocks(node)
+            # Name + inode (and with it every block pointer) vanish
+            # atomically; freed blocks stay quarantined until the
+            # removal is on disk.
+            rm_token = self._meta_write(bno)
+            freed = self._release_all_blocks(node)
+            self._gate_freed_blocks(freed, rm_token)
             self._icache.pop(node.fileid, None)
         else:
             node = self._ext_cache_get(ident)
             bno = self._dir_remove(dirh, name)
-            self._meta_write(bno)  # name removal first
+            rm_token = self._meta_write(bno)  # name removal first
             node.nlink -= 1
-            self.ext.store(ident, node, sync=True)  # dropped link count
+            self.ext.store(ident, node, sync=True,  # dropped link count
+                           requires=(rm_token,))
             if node.nlink == 0:
-                self._release_all_blocks(node)
+                freed = self._release_all_blocks(node)
                 # "Inactive"-time reclamation writes the slot once more,
                 # matching the 4.4BSD unlink sequence the baseline pays.
-                self.ext.free(ident, sync=True)
+                clear_token = self.ext.free(ident, sync=True,
+                                            requires=(rm_token,))
+                self._gate_freed_blocks(freed, clear_token)
                 self._icache.pop(node.fileid, None)
 
     def _rmdir(self, dirh: CNode, name: str) -> None:
@@ -976,8 +1030,9 @@ class CFFS(BlockFileSystem):
         if victim_index.names:
             raise DirectoryNotEmpty("%r is not empty" % name)
         bno = self._dir_remove(dirh, name)
-        self._meta_write(bno)
-        self._release_all_blocks(victim)
+        rm_token = self._meta_write(bno)
+        freed = self._release_all_blocks(victim)
+        self._gate_freed_blocks(freed, rm_token)
         self._icache.pop(victim.fileid, None)
         self._dir_index.pop(victim.fileid, None)
 
@@ -991,22 +1046,22 @@ class CFFS(BlockFileSystem):
             raise IsADirectory("cannot hard-link the root")
         inum = handle.loc[1]
         handle.nlink += 1
-        self.ext.store(inum, handle, sync=True)
+        link_token = self.ext.store(inum, handle, sync=True)
         _blk, bno, _eo, _po = self._dir_insert(
             dirh, name, dirfmt.ET_EXTERNAL, dirfmt.DK_FILE, struct.pack("<Q", inum)
         )
-        self._meta_write(bno)
+        self._meta_write(bno, requires=(link_token,))
 
     def _externalize(self, handle: CNode) -> None:
         """Move an embedded inode to the external table (second link)."""
         _, parent, blk, entry_off, _payload_off = handle.loc
-        inum = self.ext.allocate(handle, sync=True)  # external copy first
+        inum, ext_token = self.ext.allocate(handle, sync=True)  # external copy first
         bno = self._dir_block_bno(parent, blk)
         buf = self.cache.get(bno, logical=(parent.fileid, blk))
         new_payload_off = dirfmt.change_entry_type(
             buf.data, entry_off, dirfmt.ET_EXTERNAL, struct.pack("<Q", inum)
         )
-        self._meta_write(bno)
+        self._meta_write(bno, requires=(ext_token,))
         handle.loc = (LOC_EXT, inum)
         # Refresh the directory's index entry.
         pindex = self._dir_index.get(parent.fileid)
@@ -1047,12 +1102,12 @@ class CFFS(BlockFileSystem):
         blk, bno, entry_off, payload_off = self._dir_insert(
             dst_dir, new, etype, kind, payload
         )
-        self._meta_write(bno)
+        add_token = self._meta_write(bno)
         if etype == dirfmt.ET_EMBEDDED:
             node.loc = (LOC_DIR, dst_dir, blk, entry_off, payload_off)
             node.home_cg = dst_dir.home_cg
         src_bno = self._dir_remove(src_dir, old)
-        self._meta_write(src_bno)
+        self._meta_write(src_bno, requires=(add_token,))
         if node.is_dir:
             self._dir_index.pop(node.fileid, None)
 

@@ -124,9 +124,10 @@ def unpack_gdesc(data: bytes) -> dict:
 
 # magic, version, total_blocks, n_cgs, blocks_per_cg, gdt_blocks,
 # data_start, group_span, config_flags, next_fileid, next_gen,
-# free_blocks, ext table: size + direct/indirect/dindirect, then the
-# root's embedded inode.
-_SB_FMT = "<IIIIIIIII QQQ Q12III"
+# free_blocks, ext table: size + direct/indirect/dindirect,
+# journal_start, journal_blocks (zero when no log region was
+# reserved), then the root's embedded inode.
+_SB_FMT = "<IIIIIIIII QQQ Q12III II"
 
 # config_flags bits.
 SBF_EMBEDDED_INODES = 0x1
@@ -145,6 +146,7 @@ def pack_superblock(sb: dict, root_inode_bytes: bytes) -> bytes:
         sb["group_span"], sb["config_flags"],
         sb["next_fileid"], sb["next_gen"], sb["free_blocks"],
         sb["ext_size"], *sb["ext_direct"], sb["ext_indirect"], sb["ext_dindirect"],
+        sb.get("journal_start", 0), sb.get("journal_blocks", 0),
     )
     out = bytearray(BLOCK_SIZE)
     out[:len(head)] = head
@@ -171,6 +173,8 @@ def unpack_superblock(data: bytes) -> dict:
         "ext_direct": list(fields[13:25]),
         "ext_indirect": fields[25],
         "ext_dindirect": fields[26],
+        "journal_start": fields[27],
+        "journal_blocks": fields[28],
     }
 
 

@@ -131,6 +131,21 @@ class CorruptFileSystem(FileSystemError):
     errno_name = "EIO"
 
 
+class JournalCorrupt(FileSystemError):
+    """The on-disk journal failed a structural check (bad magic, CRC
+    mismatch on the header, impossible geometry).  The committed state
+    of the volume is still intact — only log replay is unavailable."""
+
+    errno_name = "EIO"
+
+
+class ReplayError(FileSystemError):
+    """Journal replay could not be applied (a committed record names a
+    block outside the volume, or the log contradicts itself)."""
+
+    errno_name = "EIO"
+
+
 class FsckError(ReproError):
     """The offline checker found an inconsistency it could not repair."""
 

@@ -13,8 +13,9 @@ newest checkpoint that had fully reached the disk before the cut.
 
 A crash point *recovers* iff repair converges (second check pristine),
 the image remounts, and no synced-and-unmodified file lost a byte.
-The paper's integrity argument — synchronous ordering writes, or soft
-updates, plus fsck — predicts 100% recovery at every point on both
+The paper's integrity argument — synchronous ordering writes, soft
+updates, or write-ahead journaling, plus fsck (which replays the log
+before its walk) — predicts 100% recovery at every point on both
 formats; the sweep tests that prediction exhaustively.
 
 Everything is deterministic: the workload is seeded, the journal is a

@@ -11,7 +11,7 @@ persistence* (where the inode lives) — those are the abstract methods.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.blockdev.device import BLOCK_SIZE
 from repro.cache.buffercache import BufferCache
@@ -19,9 +19,15 @@ from repro.cache.policy import MetadataPolicy
 from repro.clock import CpuModel
 from repro.errors import InvalidArgument
 from repro.ffs import mapping
+from repro.journal import attach_pipeline
 from repro.vfs.interface import FileSystem
 
 Handle = Any
+
+#: Ordering token returned by :meth:`BlockFileSystem._meta_write` under
+#: soft updates (None under the other policies — the tokens thread
+#: through either way so call sites are policy-agnostic).
+OrderToken = Any
 
 
 class BlockFileSystem(FileSystem):
@@ -45,12 +51,43 @@ class BlockFileSystem(FileSystem):
 
     # -- per-policy metadata write ------------------------------------------------
 
-    def _meta_write(self, bno: int) -> None:
-        """Write a metadata block per the configured integrity mode."""
+    def _attach_crash_consistency(self, journal_start: int = 0,
+                                  journal_blocks: int = 0) -> None:
+        """Install the write pipeline matching the policy (called by
+        subclasses once the superblock geometry is known)."""
+        attach_pipeline(self.cache, self.policy, journal_start, journal_blocks)
+
+    def _meta_write(self, bno: int, requires: Tuple = ()) -> OrderToken:
+        """Write a metadata block per the configured integrity mode.
+
+        ``requires`` names ordering tokens (earlier :meth:`_meta_write`
+        / :meth:`_istore` results) that must reach the disk before this
+        update.  Under soft updates the dependency is recorded and this
+        update's own token returned; under the journal policy the block
+        joins the open transaction (ordering holds because the whole
+        transaction commits atomically); under synchronous metadata the
+        write-through order *is* the call order.
+        """
         if self.policy.is_sync:
             self.cache.write_sync(bno)
-        else:
-            self.cache.mark_dirty(bno)
+            return None
+        self.cache.mark_dirty(bno)
+        pipe = self.cache.write_pipeline
+        if pipe is None:
+            return None
+        if self.policy.is_journal:
+            pipe.note(bno)
+            return None
+        return pipe.record(bno, bytes(self.cache.peek(bno).data), requires)
+
+    def _gate_freed_blocks(self, freed: List[int], token: OrderToken) -> None:
+        """Forbid reuse writes into freed blocks until the write that
+        cleared the pointers to them (``token``) is durable."""
+        pipe = self.cache.write_pipeline
+        if token is None or pipe is None or not self.policy.is_softdep:
+            return
+        for bno in freed:
+            pipe.gate(bno, (token,))
 
     # -- abstract placement / persistence -----------------------------------------
 
@@ -67,10 +104,12 @@ class BlockFileSystem(FileSystem):
         """Return a data/indirect block of ``handle`` to the allocator."""
 
     @abc.abstractmethod
-    def _istore(self, handle: Handle, sync_op: bool = False) -> None:
+    def _istore(self, handle: Handle, sync_op: bool = False,
+                requires: Tuple = ()) -> OrderToken:
         """Persist the handle's inode.  ``sync_op`` marks updates that
         carry ordering requirements (create/delete); size/mtime updates
-        pass False and are always delayed."""
+        pass False and are always delayed.  ``requires``/return value
+        thread soft-updates ordering tokens (see :meth:`_meta_write`)."""
 
     @abc.abstractmethod
     def _file_id(self, handle: Handle) -> int:
@@ -91,7 +130,16 @@ class BlockFileSystem(FileSystem):
         written through on every mutation, so flushing the block
         suffices; a clean inode costs nothing.)
         """
-        return self.cache.flush_blocks([self._metadata_block_of(handle)])
+        bno = self._metadata_block_of(handle)
+        nreq = self.cache.flush_blocks([bno])
+        if self.cache.write_pipeline is not None:
+            buf = self.cache.peek(bno)
+            if buf is not None and buf.dirty:
+                # The pipeline deferred the inode behind its ordering
+                # dependencies; fsync must stay a durability barrier,
+                # so sync the dependency graph to completion.
+                nreq += self.cache.sync()
+        return nreq
 
     def _fetch_data_blocks(self, handle: Handle, pairs: List[Tuple[int, int]]) -> None:
         """Ensure the given (file idx, disk block) pairs are cached.
@@ -251,10 +299,13 @@ class BlockFileSystem(FileSystem):
         for idx, bno in list(mapping.enumerate_blocks(self.cache, handle)):
             if idx >= keep:
                 self.cache.drop_logical((fid, idx))
-        freed = mapping.truncate_blocks(
-            self.cache, handle, keep,
-            free_fn=lambda bno: self._free_file_block(handle, bno),
-        )
+        freed_bnos: List[int] = []
+
+        def free_fn(bno: int) -> None:
+            freed_bnos.append(bno)
+            self._free_file_block(handle, bno)
+
+        freed = mapping.truncate_blocks(self.cache, handle, keep, free_fn=free_fn)
         handle.nblocks -= freed
         handle.size = size
         # Zero the now-exposed tail of a kept partial block so a later
@@ -265,17 +316,22 @@ class BlockFileSystem(FileSystem):
                 buf = self.cache.get(bno, logical=(fid, size // BLOCK_SIZE))
                 buf.data[size % BLOCK_SIZE:] = bytes(BLOCK_SIZE - size % BLOCK_SIZE)
                 self.cache.mark_dirty(bno)
-        self._istore(handle, sync_op=True)
+        token = self._istore(handle, sync_op=True)
+        self._gate_freed_blocks(freed_bnos, token)
 
-    def _release_all_blocks(self, handle: Handle) -> int:
-        """Free every block of a dying file; returns data blocks freed."""
+    def _release_all_blocks(self, handle: Handle) -> List[int]:
+        """Free every block of a dying file; returns the freed block
+        numbers (data and indirect)."""
         fid = self._file_id(handle)
         for idx, _ in list(mapping.enumerate_blocks(self.cache, handle)):
             self.cache.drop_logical((fid, idx))
-        freed = mapping.truncate_blocks(
-            self.cache, handle, 0,
-            free_fn=lambda bno: self._free_file_block(handle, bno),
-        )
+        freed_bnos: List[int] = []
+
+        def free_fn(bno: int) -> None:
+            freed_bnos.append(bno)
+            self._free_file_block(handle, bno)
+
+        freed = mapping.truncate_blocks(self.cache, handle, 0, free_fn=free_fn)
         handle.nblocks -= freed
         handle.size = 0
-        return freed
+        return freed_bnos

@@ -37,8 +37,9 @@ from repro.errors import (
 from repro.ffs import directory as dirfmt
 from repro.ffs import layout, mapping
 from repro.ffs.alloc import GroupedAllocator
-from repro.ffs.base import BlockFileSystem
+from repro.ffs.base import BlockFileSystem, OrderToken
 from repro.ffs.inode import Inode
+from repro.journal import Journal, default_journal_blocks, timed_replay
 from repro.vfs.stat import FileKind, StatResult
 
 ROOT_INUM = 1
@@ -54,6 +55,7 @@ class FFSConfig:
     policy: MetadataPolicy = MetadataPolicy.SYNC_METADATA
     cache_blocks: int = 4096           # 16 MB buffer cache
     file_readahead_blocks: int = 0     # FS-level sequential prefetch (off)
+    journal_blocks: Optional[int] = None  # None = auto-size (journal policy)
 
     @property
     def itable_blocks(self) -> int:
@@ -113,9 +115,20 @@ class FFS(BlockFileSystem):
         config = config if config is not None else FFSConfig()
         fs = cls(device, config)
         total = device.total_blocks
-        n_cgs = (total - 1) // config.blocks_per_cg
+        # A journal policy carves its log region out of the post-cg tail
+        # (just before the superblock replica); other policies keep the
+        # historical layout byte-for-byte.
+        jb = 0
+        if config.policy.is_journal:
+            jb = (config.journal_blocks if config.journal_blocks is not None
+                  else default_journal_blocks(total))
+        if jb:
+            n_cgs = (total - 2 - jb) // config.blocks_per_cg
+        else:
+            n_cgs = (total - 1) // config.blocks_per_cg
         if n_cgs < 1:
             raise InvalidArgument("device too small for one cylinder group")
+        journal_start = 1 + n_cgs * config.blocks_per_cg if jb else 0
         data_per_cg = config.blocks_per_cg - config.data_start
         fs.sb = {
             "magic": layout.FFS_MAGIC,
@@ -130,8 +143,13 @@ class FFS(BlockFileSystem):
             "next_gen": 1,
             "free_blocks": n_cgs * data_per_cg,
             "free_inodes": n_cgs * config.inodes_per_cg,
+            "journal_start": journal_start,
+            "journal_blocks": jb,
         }
         fs._build_allocator()
+        if jb:
+            Journal.format(device, journal_start, jb)
+        fs._attach_crash_consistency(journal_start, jb)
         for cgi in range(n_cgs):
             base = fs.cg_base(cgi)
             desc = fs.cache.create(base)
@@ -173,6 +191,14 @@ class FFS(BlockFileSystem):
                 blocks_per_cg=probe["blocks_per_cg"],
                 inodes_per_cg=probe["inodes_per_cg"],
             )
+        # Replay the journal (if the volume carries one) before the first
+        # cache fill, so the cache only ever sees post-replay state.
+        # This IS the fast remount path: a sequential log read plus one
+        # batched home write, instead of a full fsck walk.
+        probe_sb = layout.unpack_superblock(device.peek_block(0))
+        if probe_sb["magic"] == layout.FFS_MAGIC and probe_sb["journal_start"]:
+            timed_replay(device, probe_sb["journal_start"],
+                         probe_sb["journal_blocks"])
         fs = cls(device, config)
         sb = layout.unpack_superblock(bytes(fs.cache.get(0).data))
         if sb["magic"] != layout.FFS_MAGIC:
@@ -181,6 +207,7 @@ class FFS(BlockFileSystem):
             raise CorruptFileSystem("superblock geometry disagrees with config")
         fs.sb = sb
         fs._build_allocator()
+        fs._attach_crash_consistency(sb["journal_start"], sb["journal_blocks"])
         return fs
 
     def _build_allocator(self) -> None:
@@ -228,17 +255,19 @@ class FFS(BlockFileSystem):
             self._icache[inum] = inode
         return inode
 
-    def _istore_inode(self, inode: Inode, sync: bool) -> None:
+    def _istore_inode(self, inode: Inode, sync: bool,
+                      requires: Tuple = ()) -> OrderToken:
         bno, slot = self._inode_location(inode.inum)
         buf = self.cache.get(bno)
         buf.data[slot * layout.INODE_SIZE:(slot + 1) * layout.INODE_SIZE] = inode.pack()
-        if sync and self.policy.is_sync:
-            self.cache.write_sync(bno)
-        else:
-            self.cache.mark_dirty(bno)
+        if sync:
+            return self._meta_write(bno, requires)
+        self.cache.mark_dirty(bno)
+        return None
 
-    def _istore(self, handle: Inode, sync_op: bool = False) -> None:
-        self._istore_inode(handle, sync=sync_op)
+    def _istore(self, handle: Inode, sync_op: bool = False,
+                requires: Tuple = ()) -> OrderToken:
+        return self._istore_inode(handle, sync=sync_op, requires=requires)
 
     def _file_id(self, handle: Inode) -> int:
         return handle.inum
@@ -333,7 +362,8 @@ class FFS(BlockFileSystem):
             )
         return bno
 
-    def _dir_add_entry(self, dirh: Inode, name: str, inum: int, kind: int) -> None:
+    def _dir_add_entry(self, dirh: Inode, name: str, inum: int, kind: int,
+                       requires: Tuple = ()) -> OrderToken:
         index = self._complete_index(dirh)
         needed = layout.dirent_size(len(name.encode("utf-8")))
         target_blk = None
@@ -347,11 +377,12 @@ class FFS(BlockFileSystem):
         data = self.cache.get(bno, logical=(dirh.inum, target_blk)).data
         if not dirfmt.add_entry(data, inum, kind, name):
             raise CorruptFileSystem("free-space accounting disagrees with block")
-        self._meta_write(bno)
+        token = self._meta_write(bno, requires)
         index.names[name] = (inum, kind, target_blk)
         index.block_free[target_blk] = dirfmt.free_bytes(bytes(data))
         dirh.mtime = self.device.clock.now
         self._istore_inode(dirh, sync=False)
+        return token
 
     def _grow_directory(self, dirh: Inode) -> int:
         blk = dirh.size // BLOCK_SIZE
@@ -362,11 +393,13 @@ class FFS(BlockFileSystem):
         )
         buf = self.cache.create(bno, logical=(dirh.inum, blk))
         buf.data[:] = dirfmt.init_block()
-        self._meta_write(bno)
+        # Ordering: the initialized directory block reaches disk before
+        # the inode's grown size exposes it to the lookup path.
+        init_token = self._meta_write(bno)
         if created:
             dirh.nblocks += 1
         dirh.size += BLOCK_SIZE
-        self._istore_inode(dirh, sync=True)
+        self._istore_inode(dirh, sync=True, requires=(init_token,))
         index = self._dir_index.get(dirh.inum)
         if index is not None:
             index.block_free[blk] = dirfmt.free_bytes(bytes(buf.data))
@@ -374,7 +407,8 @@ class FFS(BlockFileSystem):
                 index.scanned_blocks = blk + 1
         return blk
 
-    def _dir_remove_entry(self, dirh: Inode, name: str) -> Tuple[int, int]:
+    def _dir_remove_entry(self, dirh: Inode, name: str,
+                          requires: Tuple = ()) -> Tuple[int, int, OrderToken]:
         entry = self._find_entry(dirh, name)
         index = self._index_for(dirh)
         if entry is None:
@@ -385,12 +419,12 @@ class FFS(BlockFileSystem):
         removed = dirfmt.remove_entry(data, name)
         if removed != inum:
             raise CorruptFileSystem("index and block disagree on %r" % name)
-        self._meta_write(bno)
+        token = self._meta_write(bno, requires)
         del index.names[name]
         index.block_free[blk] = dirfmt.free_bytes(bytes(data))
         dirh.mtime = self.device.clock.now
         self._istore_inode(dirh, sync=False)
-        return inum, kind
+        return inum, kind, token
 
     # ------------------------------------------------------------------ VFS internals
 
@@ -418,8 +452,9 @@ class FFS(BlockFileSystem):
                           mtime=self.device.clock.now)
             self._icache[inum] = inode
             # Ordering: initialized inode reaches disk before the name.
-            self._istore_inode(inode, sync=True)
-            self._dir_add_entry(dirh, name, inum, layout.DT_FILE)
+            init_token = self._istore_inode(inode, sync=True)
+            self._dir_add_entry(dirh, name, inum, layout.DT_FILE,
+                                requires=(init_token,))
             return inode
 
     def _make_directory(self, dirh: Inode, name: str) -> Inode:
@@ -430,8 +465,9 @@ class FFS(BlockFileSystem):
         inode = Inode(inum)
         inode.init_as(layout.MODE_DIR, gen=self._next_gen(), mtime=self.device.clock.now)
         self._icache[inum] = inode
-        self._istore_inode(inode, sync=True)
-        self._dir_add_entry(dirh, name, inum, layout.DT_DIR)
+        init_token = self._istore_inode(inode, sync=True)
+        self._dir_add_entry(dirh, name, inum, layout.DT_DIR,
+                            requires=(init_token,))
         return inode
 
     def _unlink(self, dirh: Inode, name: str) -> None:
@@ -444,14 +480,19 @@ class FFS(BlockFileSystem):
             raise FileNotFound("no entry %r" % name)
         if entry[1] == layout.DT_DIR:
             raise IsADirectory("%r is a directory (use rmdir)" % name)
-        inum, _ = self._dir_remove_entry(dirh, name)  # name removal first
+        inum, _, rm_token = self._dir_remove_entry(dirh, name)  # name removal first
         inode = self._iget(inum)
         inode.nlink -= 1
-        self._istore_inode(inode, sync=True)          # dropped link count
+        self._istore_inode(inode, sync=True,          # dropped link count
+                           requires=(rm_token,))
         if inode.nlink == 0:
-            self._release_all_blocks(inode)
+            freed = self._release_all_blocks(inode)
             inode.clear()
-            self._istore_inode(inode, sync=True)      # "inactive" reclamation
+            clear_token = self._istore_inode(         # "inactive" reclamation
+                inode, sync=True, requires=(rm_token,))
+            # Freed blocks stay quarantined until the cleared pointers
+            # are on disk.
+            self._gate_freed_blocks(freed, clear_token)
             self.alloc.free_inode(inum)
             self._icache.pop(inum, None)
 
@@ -465,10 +506,11 @@ class FFS(BlockFileSystem):
         victim_index = self._complete_index(victim)
         if victim_index.names:
             raise DirectoryNotEmpty("%r is not empty" % name)
-        self._dir_remove_entry(dirh, name)
-        self._release_all_blocks(victim)
+        _, _, rm_token = self._dir_remove_entry(dirh, name)
+        freed = self._release_all_blocks(victim)
         victim.clear()
-        self._istore_inode(victim, sync=True)
+        clear_token = self._istore_inode(victim, sync=True, requires=(rm_token,))
+        self._gate_freed_blocks(freed, clear_token)
         self.alloc.free_inode(victim.inum)
         self._icache.pop(victim.inum, None)
         self._dir_index.pop(victim.inum, None)
@@ -478,8 +520,9 @@ class FFS(BlockFileSystem):
         if name in index.names:
             raise FileExists("%r already exists" % name)
         handle.nlink += 1
-        self._istore_inode(handle, sync=True)
-        self._dir_add_entry(dirh, name, handle.inum, layout.DT_FILE)
+        link_token = self._istore_inode(handle, sync=True)
+        self._dir_add_entry(dirh, name, handle.inum, layout.DT_FILE,
+                            requires=(link_token,))
 
     def _rename(self, src_dir: Inode, old: str, dst_dir: Inode, new: str) -> None:
         entry = self._find_entry(src_dir, old)
@@ -497,8 +540,8 @@ class FFS(BlockFileSystem):
                 raise FileExists("%r already exists" % new)
         # New name first, then old-name removal: a crash leaves the file
         # reachable (possibly under both names), never lost.
-        self._dir_add_entry(dst_dir, new, inum, kind)
-        self._dir_remove_entry(src_dir, old)
+        add_token = self._dir_add_entry(dst_dir, new, inum, kind)
+        self._dir_remove_entry(src_dir, old, requires=(add_token,))
 
     def _stat_handle(self, handle: Inode) -> StatResult:
         return StatResult(

@@ -42,8 +42,11 @@ assert struct.calcsize(_INODE_FMT) == INODE_SIZE
 
 # Superblock: magic, version, total_blocks, n_cgs, blocks_per_cg,
 # inodes_per_cg, itable_blocks, data_start, root_inum, next_gen,
-# free_blocks, free_inodes.
-_SUPERBLOCK_FMT = "<IIIIIIIIIQQQ"
+# free_blocks, free_inodes, journal_start, journal_blocks.
+# The journal fields were appended later; images written before then
+# unpack them as zero (pack_superblock always zero-padded the block),
+# which reads back as "no journal region".
+_SUPERBLOCK_FMT = "<IIIIIIIIIQQQII"
 
 # Cylinder-group descriptor: free_blocks, free_inodes, block_rotor, inode_rotor.
 _CG_FMT = "<IIII"
@@ -114,6 +117,8 @@ def pack_superblock(sb: dict) -> bytes:
         sb["next_gen"],
         sb["free_blocks"],
         sb["free_inodes"],
+        sb.get("journal_start", 0),
+        sb.get("journal_blocks", 0),
     )
     return packed + bytes(BLOCK_SIZE - len(packed))
 
@@ -134,6 +139,8 @@ def unpack_superblock(data: bytes) -> dict:
         "next_gen": fields[9],
         "free_blocks": fields[10],
         "free_inodes": fields[11],
+        "journal_start": fields[12],
+        "journal_blocks": fields[13],
     }
 
 

@@ -15,6 +15,7 @@ the format checkers run unchanged.
 
 from repro.fsck.checker import FsckReport, fsck_cffs, fsck_ffs
 from repro.fsck.resilience import fsck_resilience, is_resilient, open_logical
+from repro.fsck.timing import timed_fsck
 
 __all__ = [
     "FsckReport",
@@ -23,4 +24,5 @@ __all__ = [
     "fsck_resilience",
     "is_resilient",
     "open_logical",
+    "timed_fsck",
 ]

@@ -33,9 +33,11 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.blockdev.device import BLOCK_SIZE, BlockDevice
 from repro.core import directory as cdirfmt
 from repro.core import layout as clayout
-from repro.errors import CorruptFileSystem
+from repro.errors import CorruptFileSystem, JournalCorrupt, ReplayError
 from repro.ffs import directory as fdirfmt
 from repro.ffs import layout as flayout
+from repro.journal import replay_journal
+from repro.journal import wal as jwal
 
 _PTRS = struct.Struct("<%dI" % flayout.PTRS_PER_INDIRECT)
 
@@ -225,6 +227,33 @@ def _check_superblock(
     return restored
 
 
+def _replay_before_walk(device: BlockDevice, report: FsckReport,
+                        repair: bool, sb: dict) -> bool:
+    """Journal-aware fsck, step one: replay the committed log tail so
+    the walk sees post-replay state.  Returns True when a replay was
+    applied (the caller must re-read the superblock — on C-FFS the
+    superblock itself is journaled).  An unusable journal is an error;
+    repair mode resets it to empty and lets the walk fix the rest."""
+    start = sb.get("journal_start", 0)
+    nblocks = sb.get("journal_blocks", 0)
+    if not start:
+        return False
+    try:
+        stats = replay_journal(device, start, nblocks)
+    except (JournalCorrupt, ReplayError) as exc:
+        report.error("journal unusable: %s" % exc)
+        if repair:
+            device.poke_block(start, jwal.pack_header(nblocks, 0))
+            device.poke_block(start + 1, bytes(BLOCK_SIZE))
+            report.fix("journal reset to empty")
+        return False
+    if stats.discarded:
+        report.warn(
+            "journal: discarded %d torn transaction(s) at the log tail"
+            % stats.discarded)
+    return stats.txns > 0
+
+
 def _check_replica(device: BlockDevice, report: FsckReport, repair: bool,
                    sb: dict) -> None:
     """The tail replica must mirror block 0 (refresh it in repair mode)."""
@@ -251,6 +280,8 @@ def fsck_ffs(device: BlockDevice, repair: bool = False) -> FsckReport:
     if raw0 is None:
         return report
     sb = flayout.unpack_superblock(raw0)
+    if _replay_before_walk(device, report, repair, sb):
+        sb = flayout.unpack_superblock(device.peek_block(0))
 
     bpc = sb["blocks_per_cg"]
     ipc = sb["inodes_per_cg"]
@@ -473,6 +504,11 @@ def fsck_cffs(device: BlockDevice, repair: bool = False) -> FsckReport:
     if raw0 is None:
         return report
     sb = clayout.unpack_superblock(raw0)
+    if _replay_before_walk(device, report, repair, sb):
+        # The C-FFS superblock (with the embedded root inode) is itself
+        # journaled: re-read it post-replay.
+        raw0 = device.peek_block(0)
+        sb = clayout.unpack_superblock(raw0)
 
     claims = _BlockClaims(report)
     total = device.total_blocks

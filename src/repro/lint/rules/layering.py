@@ -48,13 +48,15 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     "disk": frozenset(),
     "blockdev": frozenset({"disk"}),
     "cache": frozenset({"blockdev"}),
+    "journal": frozenset({"blockdev", "cache", "resilience"}),
     "vfs": frozenset({"cache"}),
-    "ffs": frozenset({"cache", "vfs"}),
-    "core": frozenset({"ffs", "cache", "vfs"}),
-    "fsck": frozenset({"core", "ffs", "cache", "blockdev", "resilience"}),
+    "ffs": frozenset({"cache", "journal", "vfs"}),
+    "core": frozenset({"ffs", "cache", "journal", "vfs"}),
+    "fsck": frozenset({"core", "ffs", "cache", "blockdev", "journal",
+                       "resilience"}),
     "faults": frozenset(
-        {"blockdev", "disk", "cache", "core", "ffs", "fsck", "vfs",
-         "resilience"}
+        {"blockdev", "disk", "cache", "core", "ffs", "fsck", "journal",
+         "vfs", "resilience"}
     ),
     "engine": frozenset(
         {"blockdev", "disk", "faults", "cache", "vfs", "workloads",
@@ -66,7 +68,8 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     "bench": frozenset(
         {
             "analysis", "blockdev", "cache", "core", "disk", "engine",
-            "faults", "ffs", "fsck", "resilience", "vfs", "workloads",
+            "faults", "ffs", "fsck", "journal", "resilience", "vfs",
+            "workloads",
         }
     ),
     "lint": frozenset(),

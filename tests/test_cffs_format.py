@@ -80,6 +80,7 @@ class TestCffsSuperblock:
             "next_fileid": 100,
             "next_gen": 9, "free_blocks": 2000, "ext_size": 8192,
             "ext_direct": list(range(12)), "ext_indirect": 77, "ext_dindirect": 0,
+            "journal_start": 2561, "journal_blocks": 64,
         }
         root = embedded_payload(1)
         packed = layout.pack_superblock(sb, root)

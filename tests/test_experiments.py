@@ -56,9 +56,13 @@ class TestSmallfileFigures:
     def test_fig5_grid_and_ordering(self):
         out = fig5_smallfile(n_files=250)
         results = out.data["results"]
-        assert set(results) == {"conventional", "embedded", "grouping", "cffs"}
+        assert set(results) == {"conventional", "embedded", "grouping",
+                                "cffs", "cffs-journal"}
         assert (results["cffs"]["read"].files_per_second
                 > results["conventional"]["read"].files_per_second)
+        # Sequential log commits beat synchronous ordering writes.
+        assert (results["cffs-journal"]["create"].files_per_second
+                > results["cffs"]["create"].files_per_second)
 
     def test_fig6_softdep_faster_creates(self):
         sync = fig5_smallfile(n_files=200, labels=("conventional",))

@@ -3,7 +3,7 @@
 The fast tests subsample crash points (stride > 1) on smaller
 workloads; the ``slow``-marked test is the full acceptance sweep —
 power-cut after *every* media write of a 50-file run, on both formats,
-with synchronous and soft-updates metadata.
+with synchronous, soft-updates, and journaling metadata.
 """
 
 import pytest
@@ -17,7 +17,8 @@ from repro.faults.harness import (
     run_journaled_workload,
 )
 
-ALL_POLICIES = (MetadataPolicy.SYNC_METADATA, MetadataPolicy.DELAYED_METADATA)
+ALL_POLICIES = (MetadataPolicy.SYNC_METADATA, MetadataPolicy.DELAYED_METADATA,
+                MetadataPolicy.JOURNAL_METADATA)
 
 
 def assert_recovered(result):
@@ -84,7 +85,7 @@ class TestSweepFast:
 @pytest.mark.slow
 class TestSweepAcceptance:
     """The PR's acceptance bar: exhaustive sweep, 50 files, both
-    formats, both metadata policies — 100% recovery."""
+    formats, all three metadata policies — 100% recovery."""
 
     @pytest.mark.parametrize("label", ["ffs", "cffs"])
     @pytest.mark.parametrize("policy", ALL_POLICIES,

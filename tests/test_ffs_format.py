@@ -72,6 +72,7 @@ class TestSuperblock:
             "n_cgs": 5, "blocks_per_cg": 512, "inodes_per_cg": 256,
             "itable_blocks": 8, "data_start": 10, "root_inum": 1,
             "next_gen": 17, "free_blocks": 2500, "free_inodes": 1200,
+            "journal_start": 2561, "journal_blocks": 64,
         }
         assert layout.unpack_superblock(layout.pack_superblock(sb)) == sb
 

@@ -156,6 +156,33 @@ def test_l001_obs_itself_must_stay_a_leaf():
     assert "obs" in flagged[0].message
 
 
+def test_l001_journal_layer_dependencies():
+    # The crash-consistency subsystem sits between the cache and the
+    # file systems: it may drive the device and the cache (it IS the
+    # cache's write pipeline) and reuse the resilience checksums...
+    ok = lint_sources({
+        "src/repro/journal/wal.py": (
+            "from repro.blockdev.device import BlockDevice\n"
+            "from repro.cache.buffercache import BufferCache\n"
+            "from repro.resilience.checksums import crc32c\n"
+        ),
+        "src/repro/ffs/base.py": "from repro.journal import attach_pipeline\n",
+        "src/repro/fsck/checker.py": "from repro.journal import replay_journal\n",
+    })
+    assert ok.ok
+    # ...but must never reach up into the formats that depend on it
+    # (geometry is handed in by the callers, keeping the DAG acyclic).
+    bad = lint_sources({
+        "src/repro/journal/recovery.py": (
+            "from repro.ffs import layout as flayout\n"
+            "from repro.core import layout as clayout\n"
+        ),
+    })
+    flagged = [f for f in bad.unsuppressed if f.rule == "L001"]
+    assert len(flagged) == 2
+    assert all("journal" in f.message for f in flagged)
+
+
 # -- D001 determinism ---------------------------------------------------------
 
 
@@ -507,7 +534,8 @@ def test_json_reporter_golden():
                 "rule": "L001",
                 "message": (
                     "repro.ffs.filesystem imports repro.disk.drive: layer "
-                    "'ffs' may only depend on cache, clock, errors, obs, vfs"
+                    "'ffs' may only depend on cache, clock, errors, journal, "
+                    "obs, vfs"
                 ),
                 "path": "src/repro/ffs/filesystem.py",
                 "module": "repro.ffs.filesystem",
