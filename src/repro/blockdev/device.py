@@ -11,6 +11,7 @@ Devices can be persisted to sparse image files (``save_image`` /
 
 from __future__ import annotations
 
+import hashlib
 import struct
 import zlib
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -53,7 +54,10 @@ class BlockDevice:
         if len(data) != BLOCK_SIZE:
             raise ValueError("block write must be exactly %d bytes" % BLOCK_SIZE)
         self.disk.write(bno * SECTORS_PER_BLOCK, SECTORS_PER_BLOCK)
-        self._blocks[bno] = bytes(data)
+        # Immutable payloads are aliased rather than copied; anything
+        # mutable (bytearray, memoryview) is snapshotted here, at the
+        # single point where data becomes device state.
+        self._blocks[bno] = data if type(data) is bytes else bytes(data)
 
     # -- extent operations ----------------------------------------------------
 
@@ -71,8 +75,9 @@ class BlockDevice:
             if len(data) != BLOCK_SIZE:
                 raise ValueError("block write must be exactly %d bytes" % BLOCK_SIZE)
         self.disk.write(start * SECTORS_PER_BLOCK, count * SECTORS_PER_BLOCK)
+        store = self._blocks
         for i, data in enumerate(blocks):
-            self._blocks[start + i] = bytes(data)
+            store[start + i] = data if type(data) is bytes else bytes(data)
 
     # -- batched operations (C-LOOK ordered) -----------------------------------
 
@@ -120,12 +125,33 @@ class BlockDevice:
         self._check(bno, 1)
         return self._blocks.get(bno, _ZERO_BLOCK)
 
+    def content_digest(self) -> str:
+        """SHA-256 over the device's logical contents (hex).
+
+        Hashes ``(block number, payload)`` in block order, skipping
+        blocks that hold only zeros (an unwritten block and an
+        explicitly zeroed one read identically, so they must digest
+        identically).  Unlike hashing a ``save_image`` file this is
+        independent of the compressor, which makes it the right
+        fingerprint for differential tests comparing disk images
+        across code changes.
+        """
+        hasher = hashlib.sha256()
+        pack = struct.Struct("<Q").pack
+        for bno in sorted(self._blocks):
+            data = self._blocks[bno]
+            if data == _ZERO_BLOCK:
+                continue
+            hasher.update(pack(bno))
+            hasher.update(data)
+        return hasher.hexdigest()
+
     def poke_block(self, bno: int, data: bytes) -> None:
         """Write data without timing (test corruption injection)."""
         self._check(bno, 1)
         if len(data) != BLOCK_SIZE:
             raise ValueError("block write must be exactly %d bytes" % BLOCK_SIZE)
-        self._blocks[bno] = bytes(data)
+        self._blocks[bno] = data if type(data) is bytes else bytes(data)
 
     # -- image persistence -------------------------------------------------------
 

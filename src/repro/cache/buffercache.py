@@ -97,20 +97,26 @@ class BufferCache:
         else:
             self.misses += 1
             obs.incr("cache.misses")
-            with obs.span("cache", "miss", bno=bno):
-                try:
-                    data = self.device.read_block(bno)
-                except ChecksumError:
-                    # The device below vouches for nothing here; refuse
-                    # to install the buffer so no caller ever sees the
-                    # bad bytes through the cache.
-                    obs.count("cache.checksum_rejects")
-                    raise
+            if obs.enabled():
+                with obs.span("cache", "miss", bno=bno):
+                    data = self._read_checked(bno)
+            else:
+                data = self._read_checked(bno)
             buf = Buffer(bno, data)
             self._insert(buf)
         if logical is not None and buf.logical != logical:
             self._set_logical(buf, logical)
         return buf
+
+    def _read_checked(self, bno: int) -> bytes:
+        try:
+            return self.device.read_block(bno)
+        except ChecksumError:
+            # The device below vouches for nothing here; refuse to
+            # install the buffer so no caller ever sees the bad bytes
+            # through the cache.
+            obs.count("cache.checksum_rejects")
+            raise
 
     def peek(self, bno: int) -> Optional[Buffer]:
         """Return the cached buffer or None; never touches the disk."""
@@ -158,9 +164,13 @@ class BufferCache:
     def write_sync(self, bno: int) -> None:
         """Write the buffer through to the device immediately (timed)."""
         buf = self._phys[bno]
-        image, clean = bytes(buf.data), True
+        # Without a pipeline the live bytearray goes straight down: every
+        # device layer either only reads it (checksums) or snapshots it
+        # at the final store, so no copy is needed here.  Pipelines get
+        # the immutable snapshot their contract promises.
+        image, clean = buf.data, True
         if self.write_pipeline is not None:
-            prepared = self.write_pipeline.prepare(bno, image)
+            prepared = self.write_pipeline.prepare(bno, bytes(image))
             if prepared is None:
                 return  # pipeline defers this block; it stays dirty
             image, clean = prepared
@@ -181,16 +191,20 @@ class BufferCache:
         """Pipeline-filtered (writes, cleaned) for the given dirty blocks."""
         writes: Dict[int, bytes] = {}
         cleaned = []
+        pipeline = self.write_pipeline
         for bno in block_numbers:
             buf = self._phys.get(bno)
             if buf is None or not buf.dirty:
                 continue
-            image, clean = bytes(buf.data), True
-            if self.write_pipeline is not None:
-                prepared = self.write_pipeline.prepare(bno, image)
+            if pipeline is not None:
+                prepared = pipeline.prepare(bno, bytes(buf.data))
                 if prepared is None:
                     continue  # deferred: dependencies not durable yet
                 image, clean = prepared
+            else:
+                # Alias the live bytearray: the flush that follows is
+                # synchronous and the device snapshots at its store.
+                image, clean = buf.data, True
             writes[bno] = image
             if clean:
                 cleaned.append(bno)

@@ -21,6 +21,7 @@ from typing import Iterator, List, Optional, Tuple
 from repro.blockdev.device import BLOCK_SIZE
 from repro.errors import CorruptFileSystem, InvalidArgument, NameTooLong
 from repro.core.layout import (
+    DENT_ALIGN,
     DENT_HEADER_FMT,
     DENT_HEADER_SIZE,
     DK_DIR as DK_DIR,          # re-exported: callers address these through
@@ -39,6 +40,10 @@ from repro.core.layout import (
 # (entry offset in block, reclen, etype, kind, name, payload offset in block)
 DirEntry = Tuple[int, int, int, int, str, int]
 
+# Precompiled header codec: the scan loops below decode one header per
+# entry per lookup, which makes this the hottest struct in the tree.
+_DENT_HEADER = struct.Struct(DENT_HEADER_FMT)
+
 
 def init_dir_block() -> bytearray:
     """A fresh directory block: every sector one free record."""
@@ -50,20 +55,23 @@ def init_dir_block() -> bytearray:
 
 def iter_sector(block: bytes, sector: int) -> Iterator[DirEntry]:
     """Entries (live and free) of one sector, in chain order."""
-    base = sector * SECTOR_SIZE
-    offset = base
-    end = base + SECTOR_SIZE
+    unpack_header = _DENT_HEADER.unpack_from
+    offset = sector * SECTOR_SIZE
+    end = offset + SECTOR_SIZE
     while offset < end:
-        reclen, namelen, etype, kind = struct.unpack_from(DENT_HEADER_FMT, block, offset)
+        reclen, namelen, etype, kind = unpack_header(block, offset)
         if reclen < DENT_HEADER_SIZE or offset + reclen > end:
             raise CorruptFileSystem(
                 "bad embedded dirent reclen %d at offset %d" % (reclen, offset)
             )
-        name = ""
+        name_off = offset + DENT_HEADER_SIZE
         if etype != ET_FREE and namelen:
-            raw = bytes(block[offset + DENT_HEADER_SIZE:offset + DENT_HEADER_SIZE + namelen])
-            name = raw.decode("utf-8", errors="replace")
-        payload_off = offset + DENT_HEADER_SIZE + _pad(namelen)
+            # str() accepts bytes and bytearray alike, so callers can
+            # hand the cache's live buffer in without a copy.
+            name = str(block[name_off:name_off + namelen], "utf-8", "replace")
+        else:
+            name = ""
+        payload_off = name_off + ((namelen + DENT_ALIGN - 1) & -DENT_ALIGN)
         yield offset, reclen, etype, kind, name, payload_off
         offset += reclen
     if offset != end:
@@ -83,13 +91,23 @@ def live_entries(block: bytes) -> List[Tuple[int, DirEntry]]:
 
 def sector_free_bytes(block: bytes, sector: int) -> int:
     """Largest insertion this sector can accept."""
+    # Walks raw headers (namelen is stored, so no name decode needed).
+    unpack_header = _DENT_HEADER.unpack_from
+    offset = sector * SECTOR_SIZE
+    end = offset + SECTOR_SIZE
     best = 0
-    for _, reclen, etype, _, name, _ in iter_sector(block, sector):
-        if etype == ET_FREE:
-            avail = reclen
-        else:
-            avail = reclen - dent_size(len(name.encode("utf-8")), etype)
-        best = max(best, avail)
+    while offset < end:
+        reclen, namelen, etype, _kind = unpack_header(block, offset)
+        if reclen < DENT_HEADER_SIZE or offset + reclen > end:
+            raise CorruptFileSystem(
+                "bad embedded dirent reclen %d at offset %d" % (reclen, offset)
+            )
+        avail = reclen if etype == ET_FREE else reclen - dent_size(namelen, etype)
+        if avail > best:
+            best = avail
+        offset += reclen
+    if offset != end:
+        raise CorruptFileSystem("embedded dirent chain does not tile the sector")
     return best
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs
@@ -137,7 +138,8 @@ class _DirIndex:
     force a full scan.  Scan costs are charged as incurred.
     """
 
-    __slots__ = ("names", "sector_free", "scanned_blocks", "complete")
+    __slots__ = ("names", "sector_free", "scan_hint", "scanned_blocks",
+                 "complete")
 
     def __init__(self) -> None:
         # name -> (etype, kind, blk, entry_off, payload_off, ident)
@@ -145,8 +147,20 @@ class _DirIndex:
         # number for external ones.
         self.names: Dict[str, Tuple[int, int, int, int, int, int]] = {}
         self.sector_free: Dict[Tuple[int, int], int] = {}
+        # needed-size -> position in sector_free's (insertion) order
+        # before which no sector can hold an entry of that size.  Keys
+        # are never removed from sector_free and new ones append at the
+        # end, so a hint stays valid as long as no existing sector's
+        # free count grows — set_free clears the hints when one does.
+        self.scan_hint: Dict[int, int] = {}
         self.scanned_blocks = 0
         self.complete = False
+
+    def set_free(self, key: Tuple[int, int], value: int) -> None:
+        prev = self.sector_free.get(key)
+        if prev is not None and value > prev:
+            self.scan_hint.clear()
+        self.sector_free[key] = value
 
 
 class CFFS(BlockFileSystem):
@@ -761,7 +775,9 @@ class CFFS(BlockFileSystem):
         while index.scanned_blocks < nblocks:
             blk = index.scanned_blocks
             bno = self._dir_block_bno(dirh, blk)
-            data = bytes(self.cache.get(bno, logical=(dirh.fileid, blk)).data)
+            # The scan only reads scalars out of the block, so it can
+            # walk the cache's live bytearray without a snapshot.
+            data = self.cache.get(bno, logical=(dirh.fileid, blk)).data
             for _sector, entry in dirfmt.iter_block(data):
                 entry_off, _reclen, etype, kind, entry_name, payload_off = entry
                 if etype == dirfmt.ET_FREE:
@@ -772,7 +788,8 @@ class CFFS(BlockFileSystem):
                 )
                 entries_seen += 1
             for sector in range(layout.SECTORS_PER_DIR_BLOCK):
-                index.sector_free[(blk, sector)] = dirfmt.sector_free_bytes(data, sector)
+                index.set_free((blk, sector),
+                               dirfmt.sector_free_bytes(data, sector))
             index.scanned_blocks += 1
             if name is not None and name in index.names:
                 break
@@ -798,10 +815,9 @@ class CFFS(BlockFileSystem):
 
     @staticmethod
     def _entry_ident(data: bytes, etype: int, payload_off: int) -> int:
-        if etype == dirfmt.ET_EMBEDDED:
-            return layout.unpack_cinode(
-                data[payload_off:payload_off + layout.CINODE_SIZE]
-            )["fileid"]
+        # Both payload kinds lead with a 64-bit identifier: an embedded
+        # inode starts with its fileid and an external ref *is* the
+        # inode number, so one field read serves either.
         return struct.unpack_from("<Q", data, payload_off)[0]
 
     def _dir_block_bno(self, dirh: CNode, blk: int) -> int:
@@ -821,12 +837,19 @@ class CFFS(BlockFileSystem):
         mutates the cached block.
         """
         index = self._complete_index(dirh)
-        needed = layout.dent_size(len(name.encode("utf-8")), etype)
+        namelen = len(name.encode("utf-8"))
+        needed = layout.dent_size(namelen, etype)
         target: Optional[Tuple[int, int]] = None
-        for (blk, sector), free in index.sector_free.items():
+        # First-fit in sector scan order, resuming past the prefix a
+        # prior insert of this size proved too full (see _DirIndex).
+        start = index.scan_hint.get(needed, 0)
+        pos = start
+        for key, free in islice(index.sector_free.items(), start, None):
             if free >= needed:
-                target = (blk, sector)
+                target = key
                 break
+            pos += 1
+        index.scan_hint[needed] = pos
         if target is None:
             blk = self._grow_directory(dirh)
             target = (blk, 0)
@@ -836,16 +859,12 @@ class CFFS(BlockFileSystem):
         payload_off = dirfmt.add_entry(buf.data, sector, name, etype, kind, payload)
         if payload_off is None:
             raise CorruptFileSystem("sector free-space accounting disagrees")
-        data = bytes(buf.data)
-        index.sector_free[(blk, sector)] = dirfmt.sector_free_bytes(data, sector)
+        data = buf.data
+        index.set_free((blk, sector), dirfmt.sector_free_bytes(data, sector))
         ident = self._entry_ident(data, etype, payload_off)
-        entry_off = None
-        for s, entry in dirfmt.iter_block(data):
-            if s == sector and entry[5] == payload_off:
-                entry_off = entry[0]
-                break
-        if entry_off is None:  # pragma: no cover - defensive
-            raise CorruptFileSystem("inserted entry not found")
+        # The entry layout is header, padded name, payload, so the
+        # entry offset falls straight out of the payload offset.
+        entry_off = payload_off - layout.DENT_HEADER_SIZE - layout._pad(namelen)
         index.names[name] = (etype, kind, blk, entry_off, payload_off, ident)
         dirh.mtime = self.device.clock.now
         self._istore(dirh, sync_op=False)
@@ -869,9 +888,8 @@ class CFFS(BlockFileSystem):
         index = self._dir_index.get(dirh.fileid)
         if index is not None:
             for sector in range(layout.SECTORS_PER_DIR_BLOCK):
-                index.sector_free[(blk, sector)] = dirfmt.sector_free_bytes(
-                    bytes(buf.data), sector
-                )
+                index.set_free((blk, sector),
+                               dirfmt.sector_free_bytes(buf.data, sector))
             if index.complete:
                 index.scanned_blocks = blk + 1
         return blk
@@ -891,9 +909,8 @@ class CFFS(BlockFileSystem):
         if removed is None:
             raise CorruptFileSystem("index and block disagree on %r" % name)
         sector, _ = removed
-        index.sector_free[(blk, sector)] = dirfmt.sector_free_bytes(
-            bytes(buf.data), sector
-        )
+        index.set_free((blk, sector),
+                       dirfmt.sector_free_bytes(buf.data, sector))
         del index.names[name]
         dirh.mtime = self.device.clock.now
         self._istore(dirh, sync_op=False)
@@ -909,9 +926,13 @@ class CFFS(BlockFileSystem):
         return FileKind.DIRECTORY if handle.is_dir else FileKind.FILE
 
     def _lookup(self, dirh: CNode, name: str) -> CNode:
-        with obs.span("fs", "lookup", name=name,
-                      embedded=self.config.embedded_inodes):
-            return self._lookup_entry(dirh, name)
+        # enabled() guards keep the disabled-observability hot path free
+        # of the span call's keyword-dict allocation (here and below).
+        if obs.enabled():
+            with obs.span("fs", "lookup", name=name,
+                          embedded=self.config.embedded_inodes):
+                return self._lookup_entry(dirh, name)
+        return self._lookup_entry(dirh, name)
 
     def _lookup_entry(self, dirh: CNode, name: str) -> CNode:
         info = self._find_entry(dirh, name)
@@ -954,9 +975,11 @@ class CFFS(BlockFileSystem):
         return node
 
     def _create_node(self, dirh: CNode, name: str, mode: int, kind: int) -> CNode:
-        with obs.span("fs", "create_node", name=name,
-                      embedded=self.config.embedded_inodes):
-            return self._create_node_entry(dirh, name, mode, kind)
+        if obs.enabled():
+            with obs.span("fs", "create_node", name=name,
+                          embedded=self.config.embedded_inodes):
+                return self._create_node_entry(dirh, name, mode, kind)
+        return self._create_node_entry(dirh, name, mode, kind)
 
     def _create_node_entry(self, dirh: CNode, name: str, mode: int, kind: int) -> CNode:
         index = self._complete_index(dirh)
@@ -982,9 +1005,12 @@ class CFFS(BlockFileSystem):
         return node
 
     def _unlink(self, dirh: CNode, name: str) -> None:
-        with obs.span("fs", "unlink_node", name=name,
-                      embedded=self.config.embedded_inodes):
-            self._unlink_entry(dirh, name)
+        if obs.enabled():
+            with obs.span("fs", "unlink_node", name=name,
+                          embedded=self.config.embedded_inodes):
+                self._unlink_entry(dirh, name)
+            return
+        self._unlink_entry(dirh, name)
 
     def _unlink_entry(self, dirh: CNode, name: str) -> None:
         info = self._find_entry(dirh, name)
@@ -1072,10 +1098,11 @@ class CFFS(BlockFileSystem):
                         dirfmt.ET_EXTERNAL, info[1], blk, entry_off,
                         new_payload_off, inum,
                     )
-                    pindex.sector_free[(blk, entry_off // layout.SECTOR_SIZE)] = (
+                    pindex.set_free(
+                        (blk, entry_off // layout.SECTOR_SIZE),
                         dirfmt.sector_free_bytes(
-                            bytes(buf.data), entry_off // layout.SECTOR_SIZE
-                        )
+                            buf.data, entry_off // layout.SECTOR_SIZE
+                        ),
                     )
                     break
 

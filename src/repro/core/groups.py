@@ -26,7 +26,7 @@ from repro.core.layout import (
     GDESC_SIZE,
     GROUP_SPAN,
     pack_gdesc,
-    unpack_gdesc,
+    unpack_gdesc_from,
 )
 from repro.errors import CorruptFileSystem
 
@@ -90,7 +90,7 @@ class GroupTable:
     def read_desc(self, ext: ExtentId) -> dict:
         bno, off = self._desc_location(ext)
         buf = self.cache.get(bno)
-        return unpack_gdesc(bytes(buf.data[off:off + GDESC_SIZE]))
+        return unpack_gdesc_from(buf.data, off)
 
     def read_desc_cached(self, ext: ExtentId) -> Optional[dict]:
         """Like :meth:`read_desc` but never touches the disk; None when
@@ -100,7 +100,7 @@ class GroupTable:
         buf = self.cache.peek(bno)
         if buf is None:
             return None
-        return unpack_gdesc(bytes(buf.data[off:off + GDESC_SIZE]))
+        return unpack_gdesc_from(buf.data, off)
 
     def write_desc(self, ext: ExtentId, desc: dict) -> None:
         bno, off = self._desc_location(ext)

@@ -36,7 +36,8 @@ CINODE_SIZE = 96
 # fileid, mode, nlink, flags, gen, size, mtime, 12 direct, indirect,
 # dindirect, nblocks.
 _CINODE_FMT = "<QHHHHQd12IIII4x"
-assert struct.calcsize(_CINODE_FMT) == CINODE_SIZE
+_CINODE_STRUCT = struct.Struct(_CINODE_FMT)
+assert _CINODE_STRUCT.size == CINODE_SIZE
 
 MODE_FREE = 0
 MODE_FILE = 1
@@ -49,14 +50,14 @@ def pack_cinode(
 ) -> bytes:
     if len(direct) != NDIRECT:
         raise ValueError("inode needs exactly %d direct pointers" % NDIRECT)
-    return struct.pack(
-        _CINODE_FMT, fileid, mode, nlink, flags, gen, size, mtime,
+    return _CINODE_STRUCT.pack(
+        fileid, mode, nlink, flags, gen, size, mtime,
         *direct, indirect, dindirect, nblocks,
     )
 
 
 def unpack_cinode(data: bytes) -> dict:
-    fields = struct.unpack(_CINODE_FMT, data[:CINODE_SIZE])
+    fields = _CINODE_STRUCT.unpack_from(data, 0)
     return {
         "fileid": fields[0],
         "mode": fields[1],
@@ -90,7 +91,12 @@ _GDESC_HEAD_FMT = "<HHQ4x"
 _GDESC_SLOT_FMT = "<QI"
 _GDESC_SLOT_SIZE = struct.calcsize(_GDESC_SLOT_FMT)  # 12
 _GDESC_HEAD_SIZE = struct.calcsize(_GDESC_HEAD_FMT)  # 16
-assert _GDESC_HEAD_SIZE + GROUP_SPAN * _GDESC_SLOT_SIZE <= GDESC_SIZE
+# Head and slots in one precompiled Struct: "<" disables alignment, so
+# the 12-byte slots sit contiguously right after the 16-byte head —
+# byte-identical to packing each piece separately.
+_GDESC_STRUCT = struct.Struct(_GDESC_HEAD_FMT + "QI" * GROUP_SPAN)
+assert _GDESC_STRUCT.size == _GDESC_HEAD_SIZE + GROUP_SPAN * _GDESC_SLOT_SIZE
+assert _GDESC_STRUCT.size <= GDESC_SIZE
 
 
 def pack_gdesc(state: int, valid_mask: int, owner: int, slots) -> bytes:
@@ -98,24 +104,24 @@ def pack_gdesc(state: int, valid_mask: int, owner: int, slots) -> bytes:
     if len(slots) != GROUP_SPAN:
         raise ValueError("descriptor needs exactly %d slots" % GROUP_SPAN)
     out = bytearray(GDESC_SIZE)
-    struct.pack_into(_GDESC_HEAD_FMT, out, 0, state, valid_mask, owner)
-    for i, (fileid, fblock) in enumerate(slots):
-        struct.pack_into(
-            _GDESC_SLOT_FMT, out, _GDESC_HEAD_SIZE + i * _GDESC_SLOT_SIZE,
-            fileid, fblock,
-        )
+    flat = [v for pair in slots for v in pair]
+    _GDESC_STRUCT.pack_into(out, 0, state, valid_mask, owner, *flat)
     return bytes(out)
 
 
+def unpack_gdesc_from(data: bytes, offset: int = 0) -> dict:
+    """Decode a descriptor in place (no slice copy of the source)."""
+    fields = _GDESC_STRUCT.unpack_from(data, offset)
+    return {
+        "state": fields[0],
+        "valid_mask": fields[1],
+        "owner": fields[2],
+        "slots": list(zip(fields[3::2], fields[4::2])),
+    }
+
+
 def unpack_gdesc(data: bytes) -> dict:
-    state, valid_mask, owner = struct.unpack_from(_GDESC_HEAD_FMT, data, 0)
-    slots = []
-    for i in range(GROUP_SPAN):
-        fileid, fblock = struct.unpack_from(
-            _GDESC_SLOT_FMT, data, _GDESC_HEAD_SIZE + i * _GDESC_SLOT_SIZE
-        )
-        slots.append((fileid, fblock))
-    return {"state": state, "valid_mask": valid_mask, "owner": owner, "slots": slots}
+    return unpack_gdesc_from(data, 0)
 
 
 # ---------------------------------------------------------------------------
@@ -218,7 +224,8 @@ def dent_size(namelen: int, etype: int) -> int:
 
 
 def _pad(n: int) -> int:
-    return (n + DENT_ALIGN - 1) // DENT_ALIGN * DENT_ALIGN
+    # DENT_ALIGN is a power of two, so round up with a mask.
+    return (n + DENT_ALIGN - 1) & -DENT_ALIGN
 
 
 def max_name_for_sector() -> int:

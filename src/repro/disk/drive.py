@@ -56,6 +56,10 @@ class SimulatedDisk:
         else:
             self.write_buffer = None
         self.current_cylinder = 0
+        # Per-request constants, computed once (read/write pay them on
+        # every host request).
+        self._overhead_s = profile.command_overhead_ms * 1e-3
+        self._bus_s_per_sector = SECTOR_SIZE / (profile.bus_mb_per_s * 1e6)
         # Absolute time at which the media (arm) becomes free.
         self._media_free_at = 0.0
         # Optional request log (enable with start_request_log()).
@@ -184,8 +188,11 @@ class SimulatedDisk:
              completion: float, source: str) -> None:
         # Every host-visible request passes through here once; the
         # trace span and the optional request log see the same stream.
-        obs.record("disk", op, issue, completion,
-                   lba=lba, nsectors=nsectors, source=source)
+        # The enabled() guard keeps the disabled path allocation-free
+        # (obs.record's keyword dict is built at the call).
+        if obs.enabled():
+            obs.record("disk", op, issue, completion,
+                       lba=lba, nsectors=nsectors, source=source)
         if self.request_log is not None:
             self.request_log.append(RequestRecord(
                 op=op, lba=lba, nsectors=nsectors,
@@ -203,12 +210,8 @@ class SimulatedDisk:
 
     # -- internals ----------------------------------------------------------
 
-    @property
-    def _overhead_s(self) -> float:
-        return self.profile.command_overhead_ms * 1e-3
-
     def _bus_time(self, nsectors: int) -> float:
-        return nsectors * SECTOR_SIZE / (self.profile.bus_mb_per_s * 1e6)
+        return nsectors * self._bus_s_per_sector
 
     def _sector_time(self, lba: int) -> float:
         cyl, _, _ = self.geometry.chs(lba)

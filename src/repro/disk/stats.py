@@ -57,13 +57,11 @@ class RequestRecord:
 
 
 def _registry_field(name: str):
-    metric = "disk." + name
-
     def get(self: "DiskStats") -> float:
-        return self.registry.counter(metric).value
+        return self._counters[name].value
 
     def set_(self: "DiskStats", value: float) -> None:
-        self.registry.counter(metric).set(value)
+        self._counters[name].set(value)
 
     return property(get, set_)
 
@@ -76,9 +74,21 @@ class DiskStats:
         if unknown:
             raise TypeError("unknown DiskStats fields: %s" % ", ".join(sorted(unknown)))
         self.registry = registry if registry is not None else MetricsRegistry()
+        # The attribute view and record_request run on every host
+        # request, so the Counter objects are resolved once here; the
+        # field properties and the hot-path aliases below all read the
+        # same live instruments (registry.reset() zeroes in place).
+        self._counters = {}
         for name in _FIELDS:
-            self.registry.counter("disk." + name).set(values.get(name, 0))
-        self.registry.histogram("disk.request_sectors", REQUEST_SIZE_BUCKETS)
+            counter = self.registry.counter("disk." + name)
+            counter.set(values.get(name, 0))
+            self._counters[name] = counter
+        self._reads = self._counters["reads"]
+        self._writes = self._counters["writes"]
+        self._sectors_read = self._counters["sectors_read"]
+        self._sectors_written = self._counters["sectors_written"]
+        self._request_hist = self.registry.histogram(
+            "disk.request_sectors", REQUEST_SIZE_BUCKETS)
         self.request_sizes: Dict[int, int] = {}
 
     @property
@@ -99,13 +109,14 @@ class DiskStats:
 
     def record_request(self, is_write: bool, nsectors: int) -> None:
         if is_write:
-            self.writes += 1
-            self.sectors_written += nsectors
+            self._writes.inc()
+            self._sectors_written.inc(nsectors)
         else:
-            self.reads += 1
-            self.sectors_read += nsectors
-        self.registry.histogram("disk.request_sectors").observe(nsectors)
-        self.request_sizes[nsectors] = self.request_sizes.get(nsectors, 0) + 1
+            self._reads.inc()
+            self._sectors_read.inc(nsectors)
+        self._request_hist.observe(nsectors)
+        sizes = self.request_sizes
+        sizes[nsectors] = sizes.get(nsectors, 0) + 1
 
     def snapshot(self) -> "DiskStats":
         """A copy, so callers can diff before/after a benchmark phase."""

@@ -52,7 +52,7 @@ RETRY_LATENCY_BUCKETS = (0.002, 0.005, 0.010, 0.020, 0.050,
                          0.100, 0.250, 1.000)
 
 
-@dataclass
+@dataclass(slots=True)
 class QueuedRequest:
     """One host request travelling through the queue."""
 

@@ -68,10 +68,23 @@ class EventLoop:
         Returns the final simulated time.  Callbacks may schedule
         further events; the loop keeps going until the queue drains.
         """
-        while self._heap:
-            when, _seq, callback, args = heapq.heappop(self._heap)
-            self.clock.advance_to(when)
-            self.events_run += 1
-            obs.count("engine.events")
-            callback(*args)
+        # Dispatch with hoisted locals, counting events in a local and
+        # publishing once at the end: the engine.events counter is only
+        # observed through registry snapshots taken between runs, so
+        # batching the update is invisible to metrics consumers while
+        # removing two attribute walks and a counter lookup per event.
+        heap = self._heap
+        pop = heapq.heappop
+        advance_to = self.clock.advance_to
+        ran = 0
+        try:
+            while heap:
+                when, _seq, callback, args = pop(heap)
+                advance_to(when)
+                ran += 1
+                callback(*args)
+        finally:
+            self.events_run += ran
+            if ran:
+                obs.count("engine.events", ran)
         return self.clock.now

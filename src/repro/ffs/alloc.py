@@ -19,7 +19,8 @@ from typing import Dict, Optional
 
 from repro.cache.buffercache import BufferCache
 from repro.errors import NoSpace
-from repro.ffs.cylgroup import CylinderGroup, bit_is_set, clear_bit, set_bit
+from repro.ffs.cylgroup import (CylinderGroup, bit_is_set, clear_bit,
+                                find_clear_bit, set_bit)
 
 
 class GroupedAllocator:
@@ -285,21 +286,16 @@ class GroupedAllocator:
 
     def _find_free_no_wrap(self, bitmap: bytearray, start: int) -> Optional[int]:
         """Linear search for a clear bit from ``start`` to the group end."""
-        for offset in range(start, self.blocks_per_cg):
-            if not bit_is_set(bitmap, offset):
-                return offset
-        return None
+        return find_clear_bit(bitmap, start, self.blocks_per_cg)
 
     def _find_free(self, bitmap: bytearray, start: int) -> Optional[int]:
         """Next-fit search for a clear bit, wrapping within the data area."""
         total = self.blocks_per_cg
-        area = total - self.data_start
         if start < self.data_start or start >= total:
             start = self.data_start
-        for probe in range(area):
-            offset = start + probe
-            if offset >= total:
-                offset -= area
-            if not bit_is_set(bitmap, offset):
-                return offset
-        return None
+        offset = find_clear_bit(bitmap, start, total)
+        if offset is None:
+            # Wrap: resume from the start of the data area up to where
+            # the forward sweep began.
+            offset = find_clear_bit(bitmap, self.data_start, start)
+        return offset

@@ -191,13 +191,21 @@ class BlockFileSystem(FileSystem):
         by_idx = dict(located)
         chunks: List[bytes] = []
         for idx in range(first, last + 1):
-            if idx in holes:
-                block = b"\0" * BLOCK_SIZE
-            else:
-                block = bytes(self.cache.get(by_idx[idx], logical=(fid, idx)).data)
             lo = offset - idx * BLOCK_SIZE if idx == first else 0
             hi = offset + size - idx * BLOCK_SIZE if idx == last else BLOCK_SIZE
-            chunks.append(block[max(0, lo):hi])
+            if lo < 0:
+                lo = 0
+            if idx in holes:
+                chunks.append(bytes(hi - lo))
+            else:
+                # One copy per chunk, made directly from the cached
+                # bytearray (a memoryview keeps partial slices from
+                # snapshotting the whole block first).
+                cached = self.cache.get(by_idx[idx], logical=(fid, idx)).data
+                if lo == 0 and hi == BLOCK_SIZE:
+                    chunks.append(bytes(cached))
+                else:
+                    chunks.append(bytes(memoryview(cached)[lo:hi]))
         return b"".join(chunks)
 
     def _maybe_readahead(self, handle: Handle, first: int, last: int) -> None:

@@ -20,6 +20,38 @@ def bit_is_set(bitmap: bytearray, offset: int) -> bool:
     return bool(bitmap[offset >> 3] & (1 << (offset & 7)))
 
 
+#: Byte translation table for the clear-bit scan: full bytes (0xFF)
+#: map to 0, bytes with at least one clear bit map to 1, so ``find(1)``
+#: locates the first interesting byte at C speed.
+_HAS_CLEAR_BIT = bytes(0 if v == 0xFF else 1 for v in range(256))
+
+
+def find_clear_bit(bitmap: bytearray, start: int, end: int):
+    """Offset of the first clear bit in ``[start, end)``, or None.
+
+    Equivalent to probing :func:`bit_is_set` at each offset in order,
+    but skips over fully-allocated bytes without entering Python-level
+    iteration (nearly every byte is full on a busy group).
+    """
+    if start >= end:
+        return None
+    byte_i = start >> 3
+    # Leading byte: mask off bits below ``start`` as if they were set.
+    b = bitmap[byte_i] | ((1 << (start & 7)) - 1)
+    if b != 0xFF:
+        z = ~b & 0xFF
+        off = (byte_i << 3) + (z & -z).bit_length() - 1
+        return off if off < end else None
+    end_byte = (end + 7) >> 3
+    idx = bitmap[byte_i + 1:end_byte].translate(_HAS_CLEAR_BIT).find(1)
+    if idx < 0:
+        return None
+    byte_i += 1 + idx
+    z = ~bitmap[byte_i] & 0xFF
+    off = (byte_i << 3) + (z & -z).bit_length() - 1
+    return off if off < end else None
+
+
 def set_bit(bitmap: bytearray, offset: int) -> None:
     bitmap[offset >> 3] |= 1 << (offset & 7)
 

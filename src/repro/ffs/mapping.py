@@ -20,6 +20,7 @@ from repro.errors import InvalidArgument
 from repro.ffs.layout import NDIRECT, PTRS_PER_INDIRECT
 
 _PTR_FMT = "<%dI" % PTRS_PER_INDIRECT
+_PTR_STRUCT = struct.Struct(_PTR_FMT)
 
 MAX_FILE_BLOCKS = NDIRECT + PTRS_PER_INDIRECT + PTRS_PER_INDIRECT * PTRS_PER_INDIRECT
 
@@ -28,7 +29,8 @@ FreeFn = Callable[[int], None]
 
 
 def _read_ptrs(cache: BufferCache, bno: int) -> Tuple[int, ...]:
-    return struct.unpack(_PTR_FMT, bytes(cache.get(bno).data))
+    # Decoded in place from the cache's live bytearray (no 4 KB copy).
+    return _PTR_STRUCT.unpack_from(cache.get(bno).data, 0)
 
 
 def _write_ptr(cache: BufferCache, bno: int, index: int, value: int) -> None:

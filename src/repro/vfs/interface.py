@@ -46,11 +46,17 @@ class FileSystem(abc.ABC):
 
     def create(self, path: str) -> None:
         """Create an empty regular file."""
-        with obs.span("vfs", "create", path=path):
-            self.cpu.charge_syscall()
-            parents, name = basename_of(path)
-            dirh = self._walk(parents)
-            self._create_file(dirh, name)
+        if obs.enabled():
+            with obs.span("vfs", "create", path=path):
+                self._create(path)
+            return
+        self._create(path)
+
+    def _create(self, path: str) -> None:
+        self.cpu.charge_syscall()
+        parents, name = basename_of(path)
+        dirh = self._walk(parents)
+        self._create_file(dirh, name)
 
     def mkdir(self, path: str) -> None:
         """Create an empty directory."""
@@ -62,11 +68,17 @@ class FileSystem(abc.ABC):
 
     def unlink(self, path: str) -> None:
         """Remove a file name (and the file, when its last link drops)."""
-        with obs.span("vfs", "unlink", path=path):
-            self.cpu.charge_syscall()
-            parents, name = basename_of(path)
-            dirh = self._walk(parents)
-            self._unlink(dirh, name)
+        if obs.enabled():
+            with obs.span("vfs", "unlink", path=path):
+                self._unlink_path(path)
+            return
+        self._unlink_path(path)
+
+    def _unlink_path(self, path: str) -> None:
+        self.cpu.charge_syscall()
+        parents, name = basename_of(path)
+        dirh = self._walk(parents)
+        self._unlink(dirh, name)
 
     def rmdir(self, path: str) -> None:
         """Remove an empty directory."""
@@ -106,19 +118,24 @@ class FileSystem(abc.ABC):
 
     def open(self, path: str, create: bool = False) -> int:
         """Open a regular file, optionally creating it; returns an fd."""
-        with obs.span("vfs", "open", path=path, create=create):
-            self.cpu.charge_syscall()
-            parents, name = basename_of(path)
-            dirh = self._walk(parents)
-            try:
-                handle = self._lookup(dirh, name)
-            except FileNotFound:
-                if not create:
-                    raise
-                handle = self._create_file(dirh, name)
-            if self._kind_of(handle) is FileKind.DIRECTORY:
-                raise IsADirectory("cannot open a directory for file I/O: %r" % path)
-            return self.fds.allocate(OpenFile(handle, path))
+        if obs.enabled():
+            with obs.span("vfs", "open", path=path, create=create):
+                return self._open(path, create)
+        return self._open(path, create)
+
+    def _open(self, path: str, create: bool) -> int:
+        self.cpu.charge_syscall()
+        parents, name = basename_of(path)
+        dirh = self._walk(parents)
+        try:
+            handle = self._lookup(dirh, name)
+        except FileNotFound:
+            if not create:
+                raise
+            handle = self._create_file(dirh, name)
+        if self._kind_of(handle) is FileKind.DIRECTORY:
+            raise IsADirectory("cannot open a directory for file I/O: %r" % path)
+        return self.fds.allocate(OpenFile(handle, path))
 
     def close(self, fd: int) -> None:
         self.cpu.charge_syscall()
@@ -126,43 +143,64 @@ class FileSystem(abc.ABC):
 
     def read(self, fd: int, size: int) -> bytes:
         """Read from the descriptor's current offset."""
-        with obs.span("vfs", "read", size=size) as sp:
-            self.cpu.charge_syscall()
-            record = self.fds.lookup(fd)
-            data = self._read(record.handle, record.offset, size)
-            record.offset += len(data)
-            self.cpu.charge_copy(len(data))
-            sp.incr("bytes", len(data))
-            return data
+        if obs.enabled():
+            with obs.span("vfs", "read", size=size) as sp:
+                return self._read_fd(fd, size, sp)
+        return self._read_fd(fd, size, obs.NULL_SPAN)
+
+    def _read_fd(self, fd: int, size: int, sp) -> bytes:
+        self.cpu.charge_syscall()
+        record = self.fds.lookup(fd)
+        data = self._read(record.handle, record.offset, size)
+        record.offset += len(data)
+        self.cpu.charge_copy(len(data))
+        sp.incr("bytes", len(data))
+        return data
 
     def write(self, fd: int, data: bytes) -> int:
         """Write at the descriptor's current offset."""
-        with obs.span("vfs", "write", size=len(data)) as sp:
-            self.cpu.charge_syscall()
-            record = self.fds.lookup(fd)
-            written = self._write(record.handle, record.offset, data)
-            record.offset += written
-            self.cpu.charge_copy(written)
-            sp.incr("bytes", written)
-            return written
+        if obs.enabled():
+            with obs.span("vfs", "write", size=len(data)) as sp:
+                return self._write_fd(fd, data, sp)
+        return self._write_fd(fd, data, obs.NULL_SPAN)
+
+    def _write_fd(self, fd: int, data: bytes, sp) -> int:
+        self.cpu.charge_syscall()
+        record = self.fds.lookup(fd)
+        written = self._write(record.handle, record.offset, data)
+        record.offset += written
+        self.cpu.charge_copy(written)
+        sp.incr("bytes", written)
+        return written
 
     def pread(self, fd: int, offset: int, size: int) -> bytes:
-        with obs.span("vfs", "pread", offset=offset, size=size) as sp:
-            self.cpu.charge_syscall()
-            record = self.fds.lookup(fd)
-            data = self._read(record.handle, offset, size)
-            self.cpu.charge_copy(len(data))
-            sp.incr("bytes", len(data))
-            return data
+        if obs.enabled():
+            with obs.span("vfs", "pread", offset=offset, size=size) as sp:
+                return self._pread_fd(fd, offset, size, sp)
+        return self._pread_fd(fd, offset, size, obs.NULL_SPAN)
+
+    def _pread_fd(self, fd: int, offset: int, size: int, sp) -> bytes:
+        self.cpu.charge_syscall()
+        record = self.fds.lookup(fd)
+        data = self._read(record.handle, offset, size)
+        self.cpu.charge_copy(len(data))
+        sp.incr("bytes", len(data))
+        return data
 
     def pwrite(self, fd: int, offset: int, data: bytes) -> int:
-        with obs.span("vfs", "pwrite", offset=offset, size=len(data)) as sp:
-            self.cpu.charge_syscall()
-            record = self.fds.lookup(fd)
-            written = self._write(record.handle, offset, data)
-            self.cpu.charge_copy(written)
-            sp.incr("bytes", written)
-            return written
+        if obs.enabled():
+            with obs.span("vfs", "pwrite", offset=offset,
+                          size=len(data)) as sp:
+                return self._pwrite_fd(fd, offset, data, sp)
+        return self._pwrite_fd(fd, offset, data, obs.NULL_SPAN)
+
+    def _pwrite_fd(self, fd: int, offset: int, data: bytes, sp) -> int:
+        self.cpu.charge_syscall()
+        record = self.fds.lookup(fd)
+        written = self._write(record.handle, offset, data)
+        self.cpu.charge_copy(written)
+        sp.incr("bytes", written)
+        return written
 
     def seek(self, fd: int, offset: int) -> None:
         if offset < 0:
@@ -178,9 +216,12 @@ class FileSystem(abc.ABC):
             self._truncate(handle, size)
 
     def stat(self, path: str) -> StatResult:
-        with obs.span("vfs", "stat", path=path):
-            self.cpu.charge_syscall()
-            return self._stat_handle(self._resolve(path))
+        if obs.enabled():
+            with obs.span("vfs", "stat", path=path):
+                self.cpu.charge_syscall()
+                return self._stat_handle(self._resolve(path))
+        self.cpu.charge_syscall()
+        return self._stat_handle(self._resolve(path))
 
     def exists(self, path: str) -> bool:
         try:

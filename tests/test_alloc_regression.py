@@ -1,0 +1,120 @@
+"""Allocation-regression tests for the production-shaped hot paths.
+
+The perf overhaul's allocation claims, pinned with tracemalloc: with
+no tracer installed (the NULL_SPAN disabled-observability path) the
+cache hit loop and the vfs read path retain *no objects per block* —
+net retained allocations inside ``src/repro`` stay under one small
+fixed budget no matter how many blocks the loop touches.  A regression
+here means some layer started keeping per-op state (or started taking
+the kwargs-building observability path with observability off).
+
+tracemalloc tracks live objects, so transient per-call garbage (the
+returned read bytes, unpacked tuples) does not count — exactly the
+contract: steady-state loops must not *accumulate*.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import tracemalloc
+
+from repro import obs
+from repro.blockdev.device import BLOCK_SIZE
+from repro.cache.buffercache import BufferCache
+from tests.conftest import make_cffs, make_device
+
+#: Net retained allocations allowed inside src/repro for a whole
+#: measured loop (thousands of block touches).  Small and fixed: one
+#: retained object per block would exceed it 100x over.
+BUDGET_OBJECTS = 32
+
+_REPRO_ONLY = [
+    tracemalloc.Filter(True, "*" + os.sep + "repro" + os.sep + "*"),
+]
+
+
+def _retained_in_repro(fn) -> int:
+    """Net live-object growth attributed to repro source files."""
+    fn()  # warmup: lazy tables, struct caches, interned state
+    gc.collect()
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        fn()
+        gc.collect()
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    before = before.filter_traces(_REPRO_ONLY)
+    after = after.filter_traces(_REPRO_ONLY)
+    return sum(s.count_diff for s in after.compare_to(before, "filename"))
+
+
+def test_cache_hit_loop_allocates_nothing_per_block():
+    """4096 cache hits retain ~nothing: the per-block path is clean."""
+    assert not obs.enabled()
+    cache = BufferCache(make_device(), capacity_blocks=64)
+    bnos = list(range(1, 17))
+    for bno in bnos:  # populate (misses, device reads)
+        cache.get(bno)
+
+    def hot_loop():
+        get = cache.get
+        for _ in range(256):
+            for bno in bnos:  # 16 x 256 = 4096 hits
+                get(bno)
+
+    assert _retained_in_repro(hot_loop) <= BUDGET_OBJECTS
+
+
+def test_disabled_observability_read_path_allocates_nothing_per_block():
+    """With no tracer, vfs pread over warm blocks retains ~nothing.
+
+    This is the NULL_SPAN path: every span site the overhaul guarded
+    with ``obs.enabled()`` must skip kwargs building entirely, and the
+    copy-free read pipeline must not accumulate buffers.
+    """
+    assert not obs.enabled()
+    fs = make_cffs()
+    n_blocks = 8
+    fs.write_file("/hot", bytes(range(256)) * (n_blocks * BLOCK_SIZE // 256))
+    fs.sync()
+    fd = fs.open("/hot")
+    try:
+        def hot_loop():
+            pread = fs.pread
+            for _ in range(128):
+                for idx in range(n_blocks):  # 8 x 128 = 1024 block reads
+                    pread(fd, idx * BLOCK_SIZE, BLOCK_SIZE)
+
+        assert _retained_in_repro(hot_loop) <= BUDGET_OBJECTS
+    finally:
+        fs.close(fd)
+
+
+def test_budget_is_per_loop_not_per_block():
+    """Doubling the block count must not move the retained count.
+
+    This is the actual regression shape: a per-block leak scales with
+    the loop; the honest fixed overhead (counter ints, clock floats)
+    does not.
+    """
+    assert not obs.enabled()
+    cache = BufferCache(make_device(), capacity_blocks=64)
+    for bno in range(1, 33):
+        cache.get(bno)
+
+    def loop(n):
+        def run():
+            get = cache.get
+            for _ in range(64):
+                for bno in range(1, n + 1):
+                    get(bno)
+        return run
+
+    small = _retained_in_repro(loop(16))
+    large = _retained_in_repro(loop(32))
+    assert small <= BUDGET_OBJECTS and large <= BUDGET_OBJECTS
+    # No per-block term: twice the blocks, same (tiny) retention.
+    assert abs(large - small) <= BUDGET_OBJECTS
