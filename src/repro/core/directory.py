@@ -49,7 +49,7 @@ def init_dir_block() -> bytearray:
     """A fresh directory block: every sector one free record."""
     block = bytearray(BLOCK_SIZE)
     for s in range(SECTORS_PER_DIR_BLOCK):
-        struct.pack_into(DENT_HEADER_FMT, block, s * SECTOR_SIZE, SECTOR_SIZE, 0, ET_FREE, 0)
+        _DENT_HEADER.pack_into(block, s * SECTOR_SIZE, SECTOR_SIZE, 0, ET_FREE, 0)
     return block
 
 
@@ -129,15 +129,15 @@ def add_entry(
     offset = base
     end = base + SECTOR_SIZE
     while offset < end:
-        reclen, namelen, cur_etype, cur_kind = struct.unpack_from(
-            DENT_HEADER_FMT, block, offset
+        reclen, namelen, cur_etype, cur_kind = _DENT_HEADER.unpack_from(
+            block, offset
         )
         if cur_etype == ET_FREE and reclen >= needed:
             remainder = reclen - needed
             if remainder >= DENT_HEADER_SIZE:
                 _write_entry(block, offset, needed, etype, kind, encoded, payload)
-                struct.pack_into(
-                    DENT_HEADER_FMT, block, offset + needed, remainder, 0, ET_FREE, 0
+                _DENT_HEADER.pack_into(
+                    block, offset + needed, remainder, 0, ET_FREE, 0
                 )
             else:
                 _write_entry(block, offset, reclen, etype, kind, encoded, payload)
@@ -146,8 +146,8 @@ def add_entry(
             used = dent_size(namelen, cur_etype)
             slack = reclen - used
             if slack >= needed:
-                struct.pack_into(
-                    DENT_HEADER_FMT, block, offset, used, namelen, cur_etype, cur_kind
+                _DENT_HEADER.pack_into(
+                    block, offset, used, namelen, cur_etype, cur_kind
                 )
                 new_off = offset + used
                 _write_entry(block, new_off, slack, etype, kind, encoded, payload)
@@ -160,7 +160,7 @@ def _write_entry(
     block: bytearray, offset: int, reclen: int, etype: int, kind: int,
     encoded: bytes, payload: bytes,
 ) -> None:
-    struct.pack_into(DENT_HEADER_FMT, block, offset, reclen, len(encoded), etype, kind)
+    _DENT_HEADER.pack_into(block, offset, reclen, len(encoded), etype, kind)
     name_off = offset + DENT_HEADER_SIZE
     block[name_off:name_off + _pad(len(encoded))] = encoded + bytes(
         _pad(len(encoded)) - len(encoded)
@@ -185,22 +185,22 @@ def remove_entry(block: bytearray, name: str) -> Optional[Tuple[int, int]]:
         prev_offset = None
         offset = base
         while offset < end:
-            reclen, namelen, etype, kind = struct.unpack_from(DENT_HEADER_FMT, block, offset)
+            reclen, namelen, etype, kind = _DENT_HEADER.unpack_from(block, offset)
             if etype != ET_FREE:
                 raw = bytes(block[offset + DENT_HEADER_SIZE:offset + DENT_HEADER_SIZE + namelen])
                 if raw.decode("utf-8", errors="replace") == name:
                     if prev_offset is None:
-                        struct.pack_into(DENT_HEADER_FMT, block, offset, reclen, 0, ET_FREE, 0)
+                        _DENT_HEADER.pack_into(block, offset, reclen, 0, ET_FREE, 0)
                         # Scrub the payload so stale inodes never look live.
                         block[offset + DENT_HEADER_SIZE:offset + reclen] = bytes(
                             reclen - DENT_HEADER_SIZE
                         )
                     else:
-                        p_reclen, p_namelen, p_etype, p_kind = struct.unpack_from(
-                            DENT_HEADER_FMT, block, prev_offset
+                        p_reclen, p_namelen, p_etype, p_kind = _DENT_HEADER.unpack_from(
+                            block, prev_offset
                         )
-                        struct.pack_into(
-                            DENT_HEADER_FMT, block, prev_offset,
+                        _DENT_HEADER.pack_into(
+                            block, prev_offset,
                             p_reclen + reclen, p_namelen, p_etype, p_kind,
                         )
                         block[offset:offset + reclen] = bytes(reclen)
@@ -224,13 +224,13 @@ def change_entry_type(
     embedded ones, so conversion always fits); returns the new payload
     offset.
     """
-    reclen, namelen, etype, kind = struct.unpack_from(DENT_HEADER_FMT, block, entry_off)
+    reclen, namelen, etype, kind = _DENT_HEADER.unpack_from(block, entry_off)
     if etype == ET_FREE:
         raise InvalidArgument("cannot retype a free entry")
     needed = dent_size(namelen, new_etype)
     if needed > reclen:
         raise InvalidArgument("entry too small for new payload")
-    struct.pack_into(DENT_HEADER_FMT, block, entry_off, reclen, namelen, new_etype, kind)
+    _DENT_HEADER.pack_into(block, entry_off, reclen, namelen, new_etype, kind)
     payload_off = entry_off + DENT_HEADER_SIZE + _pad(namelen)
     block[payload_off:payload_off + reclen - (DENT_HEADER_SIZE + _pad(namelen))] = bytes(
         reclen - DENT_HEADER_SIZE - _pad(namelen)

@@ -160,7 +160,7 @@ class BlockFileSystem(FileSystem):
         # per-block cache.get() calls would serialize the seeks this
         # path exists to avoid.  The blocks are installed in the cache
         # immediately below, so the cache stays authoritative.
-        data = self.cache.device.read_batch([bno for _, bno in missing])  # reprolint: disable=L001
+        data = self.cache.device.read_batch([bno for _, bno in missing])  # reprolint: disable=L001 -- clustered prefetch is a sanctioned boundary read; blocks install into the cache immediately below
         for idx, bno in missing:
             self.cache.install(bno, data[bno], logical=(fid, idx))
 

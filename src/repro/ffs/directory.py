@@ -23,11 +23,16 @@ from repro.ffs.layout import (
 # (offset, inum, kind, name, reclen)
 DirEntry = Tuple[int, int, int, str, int]
 
+# Precompiled header codec: the chain walks below decode one header per
+# record per lookup/insert/remove, making this the hottest struct in
+# the FFS tree (the C-FFS analogue lives in repro.core.directory).
+_DIRENT_HEADER = struct.Struct(DIRENT_HEADER_FMT)
+
 
 def init_block() -> bytearray:
     """A fresh directory block: one free entry spanning everything."""
     block = bytearray(BLOCK_SIZE)
-    struct.pack_into(DIRENT_HEADER_FMT, block, 0, 0, BLOCK_SIZE, 0, 0)
+    _DIRENT_HEADER.pack_into(block, 0, 0, BLOCK_SIZE, 0, 0)
     return block
 
 
@@ -35,7 +40,7 @@ def iter_entries(block: bytes) -> Iterator[DirEntry]:
     """Yield every record (live and free) in chain order."""
     offset = 0
     while offset < BLOCK_SIZE:
-        inum, reclen, namelen, kind = struct.unpack_from(DIRENT_HEADER_FMT, block, offset)
+        inum, reclen, namelen, kind = _DIRENT_HEADER.unpack_from(block, offset)
         if reclen < DIRENT_HEADER_SIZE or offset + reclen > BLOCK_SIZE:
             raise CorruptFileSystem(
                 "bad dirent reclen %d at offset %d" % (reclen, offset)
@@ -83,21 +88,21 @@ def add_entry(block: bytearray, inum: int, kind: int, name: str) -> bool:
     needed = dirent_size(len(encoded))
     offset = 0
     while offset < BLOCK_SIZE:
-        cur_inum, reclen, namelen, cur_kind = struct.unpack_from(
-            DIRENT_HEADER_FMT, block, offset
+        cur_inum, reclen, namelen, cur_kind = _DIRENT_HEADER.unpack_from(
+            block, offset
         )
         if cur_inum == 0 and reclen >= needed:
             # Claim the free record, leaving the remainder free.
             _write_entry(block, offset, inum, needed, kind, encoded)
             remainder = reclen - needed
             if remainder >= DIRENT_HEADER_SIZE:
-                struct.pack_into(
-                    DIRENT_HEADER_FMT, block, offset + needed, 0, remainder, 0, 0
+                _DIRENT_HEADER.pack_into(
+                    block, offset + needed, 0, remainder, 0, 0
                 )
             else:
                 # Absorb unusable slack into the new entry.
-                struct.pack_into(
-                    DIRENT_HEADER_FMT, block, offset, inum, needed + remainder,
+                _DIRENT_HEADER.pack_into(
+                    block, offset, inum, needed + remainder,
                     len(encoded), kind,
                 )
             return True
@@ -106,8 +111,8 @@ def add_entry(block: bytearray, inum: int, kind: int, name: str) -> bool:
             slack = reclen - used
             if slack >= needed:
                 # Split the slack off the live entry.
-                struct.pack_into(
-                    DIRENT_HEADER_FMT, block, offset, cur_inum, used, namelen, cur_kind
+                _DIRENT_HEADER.pack_into(
+                    block, offset, cur_inum, used, namelen, cur_kind
                 )
                 _write_entry(block, offset + used, inum, slack, kind, encoded)
                 return True
@@ -124,18 +129,18 @@ def remove_entry(block: bytearray, name: str) -> Optional[int]:
     prev_offset = None
     offset = 0
     while offset < BLOCK_SIZE:
-        inum, reclen, namelen, kind = struct.unpack_from(DIRENT_HEADER_FMT, block, offset)
+        inum, reclen, namelen, kind = _DIRENT_HEADER.unpack_from(block, offset)
         if inum != 0:
             raw = bytes(block[offset + DIRENT_HEADER_SIZE:offset + DIRENT_HEADER_SIZE + namelen])
             if raw.decode("utf-8", errors="replace") == name:
                 if prev_offset is None:
-                    struct.pack_into(DIRENT_HEADER_FMT, block, offset, 0, reclen, 0, 0)
+                    _DIRENT_HEADER.pack_into(block, offset, 0, reclen, 0, 0)
                 else:
-                    p_inum, p_reclen, p_namelen, p_kind = struct.unpack_from(
-                        DIRENT_HEADER_FMT, block, prev_offset
+                    p_inum, p_reclen, p_namelen, p_kind = _DIRENT_HEADER.unpack_from(
+                        block, prev_offset
                     )
-                    struct.pack_into(
-                        DIRENT_HEADER_FMT, block, prev_offset,
+                    _DIRENT_HEADER.pack_into(
+                        block, prev_offset,
                         p_inum, p_reclen + reclen, p_namelen, p_kind,
                     )
                 return inum
@@ -147,5 +152,5 @@ def remove_entry(block: bytearray, name: str) -> Optional[int]:
 def _write_entry(
     block: bytearray, offset: int, inum: int, reclen: int, kind: int, encoded: bytes
 ) -> None:
-    struct.pack_into(DIRENT_HEADER_FMT, block, offset, inum, reclen, len(encoded), kind)
+    _DIRENT_HEADER.pack_into(block, offset, inum, reclen, len(encoded), kind)
     block[offset + DIRENT_HEADER_SIZE:offset + DIRENT_HEADER_SIZE + len(encoded)] = encoded

@@ -375,6 +375,7 @@ class FFS(BlockFileSystem):
             target_blk = self._grow_directory(dirh)
         bno = self._dir_block_bno(dirh, target_blk)
         data = self.cache.get(bno, logical=(dirh.inum, target_blk)).data
+        # reprolint: disable=J001 -- add_entry mutates only when it returns True; the False path raises over an untouched block
         if not dirfmt.add_entry(data, inum, kind, name):
             raise CorruptFileSystem("free-space accounting disagrees with block")
         token = self._meta_write(bno, requires)
@@ -417,9 +418,14 @@ class FFS(BlockFileSystem):
         bno = self._dir_block_bno(dirh, blk)
         data = self.cache.get(bno, logical=(dirh.inum, blk)).data
         removed = dirfmt.remove_entry(data, name)
+        # Seal before the consistency check: if the block disagrees with
+        # the index, remove_entry still scrubbed *some* entry out of the
+        # cached bytes, and the journal/soft-updates trackers must hear
+        # about that mutation before the raise unwinds.  In a healthy
+        # run removed == inum, so the order is unobservable.
+        token = self._meta_write(bno, requires)
         if removed != inum:
             raise CorruptFileSystem("index and block disagree on %r" % name)
-        token = self._meta_write(bno, requires)
         del index.names[name]
         index.block_free[blk] = dirfmt.free_bytes(bytes(data))
         dirh.mtime = self.device.clock.now
@@ -632,7 +638,7 @@ def make_ffs(
     if device is None:
         # make_ffs is a convenience factory that assembles the whole
         # stack; FFS proper never touches repro.disk.
-        # reprolint: disable=L001
+        # reprolint: disable=L001 -- factory-only import of the disk profile; the fs layer itself stays above the device seam
         from repro.disk.profiles import SEAGATE_ST31200
 
         device = BlockDevice(profile if profile is not None else SEAGATE_ST31200)

@@ -7,21 +7,30 @@ the suppression directives found in its comments.
 
 Suppression syntax (mirrors pylint's, but deliberately tiny):
 
-* ``# reprolint: disable=L001`` on a code line silences those rules for
-  findings on that line;
+* ``# reprolint: disable=L001 -- why`` on a code line silences those
+  rules for findings on that line;
 * the same comment on a line of its own silences the *next* line;
-* ``# reprolint: disable-file=F001`` anywhere silences a rule for the
-  whole file.
+* ``# reprolint: disable-file=F001 -- why`` anywhere silences a rule
+  for the whole file.
 
-Multiple rule ids are comma-separated.  Suppressed findings are still
-collected (so ``--show-suppressed`` can audit them); they simply do not
-fail the run.
+Multiple rule ids are comma-separated.  The text after the ids (an
+optional ``--`` separator, then prose) is the directive's *rationale*;
+rule S001 requires it to be non-empty, so every suppression records
+why the finding is acceptable.  Suppressed findings are still
+collected (so ``--show-suppressed`` can audit them); they simply do
+not fail the run.
+
+Directives are read from real comment tokens (``tokenize``), so
+directive-shaped text inside a docstring — like the examples above —
+is not a directive.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -33,6 +42,7 @@ from repro.errors import LintError
 _DIRECTIVE = re.compile(
     r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*"
     r"([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
+    r"\s*(?:(?:--|—)\s*)?(.*)$"
 )
 
 
@@ -63,21 +73,59 @@ class Finding:
         }
 
 
+@dataclass(frozen=True)
+class Directive:
+    """One parsed suppression comment."""
+
+    kind: str  # "disable" | "disable-file"
+    rules: Tuple[str, ...]
+    line: int  # line of the comment itself
+    col: int
+    rationale: str
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, int, str, str]]:
+    """(line, col, comment text, full source line) for every comment.
+
+    Uses ``tokenize`` so directive-shaped text inside string literals
+    is ignored; falls back to a per-line scan only if tokenization
+    fails outright (the source already parsed as an AST, so it rarely
+    does).
+    """
+    out: List[Tuple[int, int, str, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.start[1], tok.string, tok.line))
+        return out
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [
+            (lineno, text.index("#"), text[text.index("#"):], text)
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if "#" in text
+        ]
+
+
 class Suppressions:
     """Per-file suppression directives parsed from comments."""
 
     def __init__(self, source: str) -> None:
         self.file_wide: Set[str] = set()
         self.by_line: Dict[int, Set[str]] = {}
-        for lineno, text in enumerate(source.splitlines(), start=1):
-            match = _DIRECTIVE.search(text)
+        self.directives: List[Directive] = []
+        for lineno, col, comment, text in _comment_tokens(source):
+            match = _DIRECTIVE.search(comment)
             if match is None:
                 continue
             kind = match.group(1)
-            rules = {r.strip() for r in match.group(2).split(",")}
+            rules = tuple(r.strip() for r in match.group(2).split(","))
+            rationale = (match.group(3) or "").strip()
+            self.directives.append(
+                Directive(kind=kind, rules=rules, line=lineno, col=col,
+                          rationale=rationale))
             if kind == "disable-file":
-                self.file_wide |= rules
-            elif text.lstrip().startswith("#"):
+                self.file_wide |= set(rules)
+            elif text[:col].strip() == "":
                 # Comment-only line: directive governs the next line.
                 self.by_line.setdefault(lineno + 1, set()).update(rules)
             else:
@@ -180,6 +228,9 @@ class Rule:
     id = "X000"
     title = "untitled rule"
     rationale = ""
+    #: True for rules that consume the dataflow engine; the runner
+    #: builds a FlowContext (call-graph fixpoint) only when one runs.
+    requires_flow = False
 
     def check(self, mod: LintModule, context: "object") -> Iterator[Finding]:
         raise NotImplementedError
@@ -245,4 +296,10 @@ def literal_str_keys(node: ast.expr) -> Optional[str]:
 
 
 def findings_sorted(findings: Iterable[Finding]) -> List[Finding]:
-    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    """Deterministic report order: (path, line, rule, col).
+
+    Rule before column so two rules firing on the same line always
+    order by id, keeping CI diffs stable across runners regardless of
+    which rule computed the tighter column.
+    """
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.col))

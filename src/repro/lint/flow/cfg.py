@@ -1,0 +1,204 @@
+"""Intraprocedural control-flow graphs over Python ASTs.
+
+One :class:`CFG` per function body, at *statement* granularity: every
+simple statement is a node, and every compound statement contributes a
+node for its header (the expression evaluated when control reaches it
+— an ``if``'s test, a ``for``'s iterable, a ``with``'s context
+expressions) plus the subgraphs of its blocks.  Edges follow explicit
+control flow only:
+
+* ``return`` / ``raise`` edges go to the synthetic exit node;
+* loops cycle back to their header; ``break``/``continue`` resolve
+  against the innermost enclosing loop;
+* every statement inside a ``try`` body gets an edge to each handler's
+  entry (an exception may interrupt the body anywhere);
+* ``while True`` (a constant-truthy test) has no fall-through edge —
+  the loop exits only through ``break``/``return``/``raise``.
+
+Deliberate imprecision, shared by every client rule: *implicit*
+exceptions (an attribute error inside an arbitrary call) do not create
+edges.  Dataflow rules built on this CFG therefore reason about the
+paths the programmer wrote, which is the right fidelity for lint —
+see docs/STATIC_ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Union
+
+
+class CFGNode:
+    """One statement (or compound-statement header) in the graph."""
+
+    __slots__ = ("index", "stmt", "succs")
+
+    def __init__(self, index: int, stmt: Optional[ast.stmt]) -> None:
+        self.index = index
+        self.stmt = stmt            # None only for the synthetic exit
+        self.succs: List[int] = []
+
+    def add_succ(self, index: int) -> None:
+        if index not in self.succs:
+            self.succs.append(index)
+
+
+class CFG:
+    """The graph: ``nodes[0]`` is the synthetic exit, ``entry`` the
+    index where execution starts (== exit for an empty body)."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = [CFGNode(0, None)]
+        self.entry: int = 0
+
+    @property
+    def exit(self) -> int:
+        return 0
+
+    def _new(self, stmt: ast.stmt) -> int:
+        node = CFGNode(len(self.nodes), stmt)
+        self.nodes.append(node)
+        return node.index
+
+    def real_nodes(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._break_targets: List[int] = []
+        self._continue_targets: List[int] = []
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        self.cfg.entry = self._seq(body, self.cfg.exit)
+        return self.cfg
+
+    def _seq(self, stmts: Sequence[ast.stmt], follow: int) -> int:
+        for stmt in reversed(stmts):
+            follow = self._stmt(stmt, follow)
+        return follow
+
+    def _stmt(self, stmt: ast.stmt, follow: int) -> int:
+        cfg = self.cfg
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            n = cfg._new(stmt)
+            cfg.nodes[n].add_succ(cfg.exit)
+            return n
+        if isinstance(stmt, ast.Break):
+            n = cfg._new(stmt)
+            cfg.nodes[n].add_succ(
+                self._break_targets[-1] if self._break_targets else cfg.exit)
+            return n
+        if isinstance(stmt, ast.Continue):
+            n = cfg._new(stmt)
+            cfg.nodes[n].add_succ(
+                self._continue_targets[-1] if self._continue_targets else cfg.exit)
+            return n
+        if isinstance(stmt, ast.If):
+            n = cfg._new(stmt)
+            cfg.nodes[n].add_succ(self._seq(stmt.body, follow))
+            cfg.nodes[n].add_succ(
+                self._seq(stmt.orelse, follow) if stmt.orelse else follow)
+            return n
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, follow)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            n = cfg._new(stmt)
+            cfg.nodes[n].add_succ(self._seq(stmt.body, follow))
+            return n
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, follow)
+        if isinstance(stmt, ast.Match):
+            n = cfg._new(stmt)
+            for case in stmt.cases:
+                cfg.nodes[n].add_succ(self._seq(case.body, follow))
+            cfg.nodes[n].add_succ(follow)  # no case may match
+            return n
+        # Simple statement (Assign, Expr, nested def, import, ...).
+        n = cfg._new(stmt)
+        cfg.nodes[n].add_succ(follow)
+        return n
+
+    def _loop(self, stmt: Union[ast.While, ast.For, ast.AsyncFor],
+              follow: int) -> int:
+        cfg = self.cfg
+        n = cfg._new(stmt)  # the header: test (while) / iterable (for)
+        self._break_targets.append(follow)
+        self._continue_targets.append(n)
+        try:
+            body = self._seq(stmt.body, n)
+        finally:
+            self._break_targets.pop()
+            self._continue_targets.pop()
+        cfg.nodes[n].add_succ(body)
+        exits_normally = not (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+        if exits_normally:
+            cfg.nodes[n].add_succ(
+                self._seq(stmt.orelse, follow) if stmt.orelse else follow)
+        return n
+
+    def _try(self, stmt: ast.Try, follow: int) -> int:
+        cfg = self.cfg
+        fin = self._seq(stmt.finalbody, follow) if stmt.finalbody else follow
+        handler_entries = [self._seq(h.body, fin) for h in stmt.handlers]
+        orelse = self._seq(stmt.orelse, fin) if stmt.orelse else fin
+        first_body_node = len(cfg.nodes)
+        body = self._seq(stmt.body, orelse)
+        # Any statement of the body may raise into any handler.
+        for index in range(first_body_node, len(cfg.nodes)):
+            for h in handler_entries:
+                cfg.nodes[index].add_succ(h)
+        return body
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """The CFG of a function's body (accepts FunctionDef/AsyncFunctionDef)."""
+    return _Builder().build(getattr(func, "body", []))
+
+
+def header_exprs(stmt: ast.stmt) -> List[ast.expr]:
+    """The expressions evaluated *at* a CFG node.
+
+    For a compound statement this is its header only — the bodies are
+    separate nodes — so a rule scanning a node sees exactly the code
+    that runs when control visits it.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out: List[ast.expr] = []
+        for item in stmt.items:
+            out.append(item.context_expr)
+            if item.optional_vars is not None:
+                out.append(item.optional_vars)
+        return out
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Raise):
+        return [e for e in (stmt.exc, stmt.cause) if e is not None]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []  # nested scopes are their own functions
+    # Simple statements: every child expression belongs to the node.
+    return [child for child in ast.iter_child_nodes(stmt)
+            if isinstance(child, ast.expr)]
+
+
+def node_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Every call evaluated at this node (header expressions only)."""
+    for expr in header_exprs(stmt):
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                yield sub

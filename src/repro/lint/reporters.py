@@ -10,7 +10,7 @@ import json
 from typing import List
 
 from repro.lint.runner import LintResult
-from repro.lint.rules import RULES
+from repro.lint.rules import rule_catalog
 
 
 def render_text(result: LintResult, show_suppressed: bool = False) -> str:
@@ -45,7 +45,9 @@ def render_json(result: LintResult, show_suppressed: bool = True) -> str:
     ]
     payload = {
         "tool": "reprolint",
-        "rules": {rule.id: rule.title for rule in RULES if rule.id in result.rules_run},
+        "rules": {rule_id: rule.title
+                  for rule_id, rule in rule_catalog().items()
+                  if rule_id in result.rules_run},
         "files_checked": result.files_checked,
         "findings": findings,
         "counts": {

@@ -1,0 +1,147 @@
+"""B001: buffer ownership across the device boundary.
+
+Once a mutable buffer (``bytearray``, ``memoryview``, a cache
+buffer's ``.data``) has been handed to a device-boundary write
+(``write_block`` / ``write_extent`` / ``write_batch`` /
+``poke_block``), the handing function must not mutate it or return it.
+The device snapshots mutable payloads at the final store, so a
+*later* in-place write silently diverges the caller's view from what
+went to disk — exactly the aliasing hazard the zero-copy block paths
+(PR 7) are balanced on.  Views (``memoryview``) alias their backing
+buffer, so handing a view hands the backing store too.
+
+Flow-sensitive: the rule tracks which locals may alias which buffers
+along the CFG (forward may-analysis), accumulates the handed-off set
+per path, and flags any reachable mutation/escape of a handed buffer.
+Parameters are deliberately untracked — a delegation wrapper that
+forwards its argument is the callee's problem, not a finding here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Set, Tuple
+
+from repro.lint.core import Finding, LintModule, Rule
+from repro.lint.flow.callgraph import (
+    HANDOFF_METHODS,
+    FlowContext,
+    FunctionInfo,
+    pack_into_buffer_arg,
+)
+from repro.lint.flow.cfg import build_cfg, node_calls
+from repro.lint.flow.dataflow import (
+    EMPTY,
+    AliasState,
+    OriginPolicy,
+    bind_targets,
+    mutated_exprs,
+    solve_forward,
+    statement_assignments,
+)
+
+_HANDED = "__handed__"  # pseudo-name carrying the handed-off origin set
+
+
+class _BufferPolicy(OriginPolicy):
+    def __init__(self, returns_buffer: FrozenSet[str]) -> None:
+        self.returns_buffer = returns_buffer
+
+
+class BufferOwnershipRule(Rule):
+    id = "B001"
+    title = "buffer ownership across the device boundary"
+    rationale = (
+        "The block device aliases immutable bytes and snapshots mutable "
+        "payloads at the store; mutating or returning a buffer after "
+        "handing it to write_block/write_extent/write_batch/poke_block "
+        "diverges the in-memory view from the on-disk image."
+    )
+    requires_flow = True
+
+    def check(self, mod: LintModule, context: object) -> Iterator[Finding]:
+        if not mod.module.startswith("repro"):
+            return
+        flow = context.flow  # type: ignore[attr-defined]
+        policy = _BufferPolicy(flow.returns_buffer_names())
+        for info in flow.functions_in(mod):
+            yield from self._check_function(mod, flow, policy, info)
+
+    def _check_function(self, mod: LintModule, flow: FlowContext,
+                        policy: _BufferPolicy,
+                        info: FunctionInfo) -> Iterator[Finding]:
+        cfg = build_cfg(info.node)
+        if not any(self._handoffs(node.stmt) for node in cfg.real_nodes()):
+            return  # nothing crosses the boundary here
+
+        def transfer(index: int, state: AliasState) -> AliasState:
+            stmt = cfg.nodes[index].stmt
+            handed = state.get(_HANDED, EMPTY)
+            for call in self._handoffs(stmt):
+                for arg in call.args:
+                    handed |= policy.origins_of(arg, state)
+            assignment = statement_assignments(stmt)
+            if assignment is not None:
+                targets, value = assignment
+                bind_targets(policy, state, targets, value)
+                # A rebound name no longer refers to the handed-off
+                # generation: drop its attribute tokens, and drop site
+                # origins re-produced by a fresh allocation at the same
+                # site (the loop-body `data = bytearray(...)` pattern).
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        fresh = state.get(target.id, EMPTY)
+                        handed = frozenset(
+                            o for o in handed
+                            if not (o[0] == "attr"
+                                    and o[1].split(".")[0] == target.id)
+                            and not (o[0] == "site" and o in fresh))
+            state[_HANDED] = handed
+            return state
+
+        states = solve_forward(cfg, {}, transfer)
+        findings: List[Tuple[int, int, str]] = []
+        for node in cfg.real_nodes():
+            state = states[node.index]
+            handed = state.get(_HANDED, EMPTY)
+            if not handed:
+                continue
+            stmt = node.stmt
+            for expr in mutated_exprs(stmt):
+                if policy.origins_of(expr, state) & handed:
+                    findings.append((
+                        stmt.lineno, stmt.col_offset,
+                        "buffer mutated after device handoff in %s()"
+                        % info.name))
+                    break
+            for call in node_calls(stmt):
+                buf = pack_into_buffer_arg(call)
+                args = list(call.args)
+                suspect: Set[int] = flow.mutated_arg_positions(call)
+                for pos, arg in enumerate(args):
+                    writes = (buf is arg) or (pos in suspect)
+                    if writes and policy.origins_of(arg, state) & handed:
+                        findings.append((
+                            call.lineno, call.col_offset,
+                            "call mutates a buffer already handed to the "
+                            "device in %s()" % info.name))
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                if policy.origins_of(stmt.value, state) & handed:
+                    findings.append((
+                        stmt.lineno, stmt.col_offset,
+                        "handed-off buffer escapes via return in %s()"
+                        % info.name))
+        for line, col, message in sorted(set(findings)):
+            yield Finding(
+                rule=self.id, message=message, path=mod.path,
+                module=mod.module, line=line, col=col,
+                suppressed=mod.suppressions.covers(self.id, line))
+
+    @staticmethod
+    def _handoffs(stmt: ast.stmt) -> List[ast.Call]:
+        out: List[ast.Call] = []
+        for call in node_calls(stmt):
+            func = call.func
+            if isinstance(func, ast.Attribute) and func.attr in HANDOFF_METHODS:
+                out.append(call)
+        return out

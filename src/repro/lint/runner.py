@@ -23,7 +23,7 @@ from repro.lint.core import (
     load_module,
     load_source,
 )
-from repro.lint.rules import RULES
+from repro.lint.rules import FLOW_RULES, RULES
 from repro.lint.rules.structfmt import _ConstResolver
 
 SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
@@ -35,6 +35,8 @@ class LintContext:
 
     modules: Dict[str, LintModule]
     struct_resolver: _ConstResolver
+    #: call-graph/dataflow summaries; built only when a flow rule runs.
+    flow: Optional[object] = None
 
 
 @dataclass
@@ -74,26 +76,41 @@ def collect_files(paths: Iterable[str]) -> List[str]:
     return sorted(set(out))
 
 
-def _select_rules(rule_ids: Optional[Sequence[str]]) -> List[Rule]:
+def _select_rules(
+    rule_ids: Optional[Sequence[str]], flow: bool
+) -> List[Rule]:
+    """The rules this run executes.
+
+    Default selection is the AST rule set; ``flow=True`` adds the
+    flow-sensitive rules.  Explicit ``rule_ids`` may name any rule —
+    asking for B001 by id implies the flow engine without ``--flow``.
+    """
+    pool = list(RULES) + list(FLOW_RULES)
     if rule_ids is None:
-        return list(RULES)
+        return list(RULES) + (list(FLOW_RULES) if flow else [])
     wanted = set(rule_ids)
-    known = {rule.id for rule in RULES}
+    known = {rule.id for rule in pool}
     unknown = wanted - known
     if unknown:
         raise LintError(
             "unknown rule id(s): %s (known: %s)"
             % (", ".join(sorted(unknown)), ", ".join(sorted(known)))
         )
-    return [rule for rule in RULES if rule.id in wanted]
+    return [rule for rule in pool if rule.id in wanted]
 
 
 def lint_modules(
-    modules: Sequence[LintModule], rule_ids: Optional[Sequence[str]] = None
+    modules: Sequence[LintModule],
+    rule_ids: Optional[Sequence[str]] = None,
+    flow: bool = False,
 ) -> LintResult:
-    rules = _select_rules(rule_ids)
+    rules = _select_rules(rule_ids, flow)
     by_name = {mod.module: mod for mod in modules}
     context = LintContext(modules=by_name, struct_resolver=_ConstResolver(by_name))
+    if any(rule.requires_flow for rule in rules):
+        from repro.lint.flow import FlowContext
+
+        context.flow = FlowContext(modules)
     findings: List[Finding] = []
     for mod in modules:
         for rule in rules:
@@ -106,15 +123,19 @@ def lint_modules(
 
 
 def lint_paths(
-    paths: Iterable[str], rule_ids: Optional[Sequence[str]] = None
+    paths: Iterable[str],
+    rule_ids: Optional[Sequence[str]] = None,
+    flow: bool = False,
 ) -> LintResult:
     """Lint every .py file under ``paths`` (files or directories)."""
     modules = [load_module(path) for path in collect_files(paths)]
-    return lint_modules(modules, rule_ids)
+    return lint_modules(modules, rule_ids, flow=flow)
 
 
 def lint_sources(
-    sources: Dict[str, str], rule_ids: Optional[Sequence[str]] = None
+    sources: Dict[str, str],
+    rule_ids: Optional[Sequence[str]] = None,
+    flow: bool = False,
 ) -> LintResult:
     """Lint in-memory sources keyed by pseudo-path (test fixtures).
 
@@ -122,4 +143,4 @@ def lint_sources(
     derive from them exactly as for on-disk files.
     """
     modules = [load_source(text, path) for path, text in sorted(sources.items())]
-    return lint_modules(modules, rule_ids)
+    return lint_modules(modules, rule_ids, flow=flow)

@@ -280,7 +280,7 @@ class FileSystem(abc.ABC):
         # Deliberate wart: both formats share ffs.mapping as the
         # block-walker; the import is local so vfs stays format-free
         # at module load.
-        # reprolint: disable=L001
+        # reprolint: disable=L001 -- shared block-walker import, local so vfs stays format-free at module load
         from repro.ffs import mapping
 
         with obs.span("vfs", "fsync") as sp:
@@ -295,7 +295,7 @@ class FileSystem(abc.ABC):
             # fsync is the one place the barrier must reach the platter:
             # the cache has already issued its writes, and only the device
             # can drain its write-behind buffer.
-            self.cache.device.flush()  # reprolint: disable=L001
+            self.cache.device.flush()  # reprolint: disable=L001 -- fsync barrier must reach the platter; only the device can drain write-behind
             sp.incr("requests", nreq)
             return nreq
 
@@ -307,7 +307,7 @@ class FileSystem(abc.ABC):
         use this to model data-cache turnover without losing the hot
         name/metadata state a busy system retains.
         """
-        # reprolint: disable=L001 — same shared block-walker wart as fsync.
+        # reprolint: disable=L001 -- same shared block-walker wart as fsync.
         from repro.ffs import mapping
 
         self.cpu.charge_syscall()

@@ -45,8 +45,11 @@ def test_unknown_rule_id_rejected():
         lint_sources({"src/repro/ok.py": "x = 1\n"}, rule_ids=["Z999"])
 
 
-def test_rule_catalog_lists_all_five():
-    assert set(rule_catalog()) == {"L001", "D001", "E001", "F001", "M001"}
+def test_rule_catalog_lists_all_rules():
+    assert set(rule_catalog()) == {
+        "L001", "D001", "E001", "F001", "M001", "S001",  # AST rules
+        "B001", "J001", "O001",                          # flow rules
+    }
 
 
 # -- L001 layering ------------------------------------------------------------
@@ -458,7 +461,8 @@ def test_m001_allocator_and_fsck_may_mutate():
 def test_same_line_suppression():
     result = lint_sources({
         "src/repro/ffs/filesystem.py": (
-            "from repro.disk.drive import Drive  # reprolint: disable=L001\n"
+            "from repro.disk.drive import Drive"
+            "  # reprolint: disable=L001 -- fixture\n"
         ),
     })
     assert result.ok
@@ -468,7 +472,7 @@ def test_same_line_suppression():
 def test_comment_line_suppresses_next_line_only():
     result = lint_sources({
         "src/repro/ffs/filesystem.py": (
-            "# reprolint: disable=L001\n"
+            "# reprolint: disable=L001 -- fixture\n"
             "from repro.disk.drive import Drive\n"
             "from repro.disk.profiles import SEAGATE_ST31200\n"
         ),
@@ -480,7 +484,7 @@ def test_comment_line_suppresses_next_line_only():
 def test_file_wide_suppression():
     result = lint_sources({
         "src/repro/ffs/filesystem.py": (
-            "# reprolint: disable-file=L001\n"
+            "# reprolint: disable-file=L001 -- fixture\n"
             "from repro.disk.drive import Drive\n"
             "from repro.disk.profiles import SEAGATE_ST31200\n"
         ),
@@ -499,6 +503,90 @@ def test_suppression_is_per_rule():
     assert "L001" in rules_of(result, suppressed=False)
 
 
+# -- S001 suppression hygiene -------------------------------------------------
+
+
+def test_s001_bare_suppression_is_a_finding():
+    result = lint_sources({
+        "src/repro/ffs/filesystem.py": (
+            "from repro.disk.drive import Drive  # reprolint: disable=L001\n"
+        ),
+    })
+    assert "S001" in rules_of(result, suppressed=False)
+    assert not result.ok
+
+
+def test_s001_rationale_clears_the_finding():
+    result = lint_sources({
+        "src/repro/ffs/filesystem.py": (
+            "from repro.disk.drive import Drive"
+            "  # reprolint: disable=L001 -- factory assembles the stack\n"
+        ),
+    })
+    assert "S001" not in rules_of(result)
+    assert result.ok
+
+
+def test_s001_rationale_separator_is_optional():
+    # Prose straight after the ids counts; the -- separator is style.
+    result = lint_sources({
+        "src/repro/ffs/filesystem.py": (
+            "from repro.disk.drive import Drive"
+            "  # reprolint: disable=L001 factory wiring only\n"
+        ),
+    })
+    assert "S001" not in rules_of(result)
+
+
+def test_s001_applies_to_file_wide_directives():
+    result = lint_sources({
+        "src/repro/ffs/filesystem.py": (
+            "# reprolint: disable-file=L001\n"
+            "from repro.disk.drive import Drive\n"
+        ),
+    })
+    assert "S001" in rules_of(result, suppressed=False)
+
+
+def test_directive_in_docstring_is_not_a_directive():
+    # The suppression scanner reads comment tokens, so directive-shaped
+    # text inside a docstring neither suppresses nor trips S001.
+    result = lint_sources({
+        "src/repro/ffs/filesystem.py": (
+            '"""Docs: use ``# reprolint: disable=L001`` to suppress."""\n'
+            "from repro.disk.drive import Drive\n"
+        ),
+    })
+    assert "S001" not in rules_of(result)
+    assert "L001" in rules_of(result, suppressed=False)
+
+
+# -- deterministic report order ----------------------------------------------
+
+
+def test_findings_sorted_by_path_line_rule():
+    from repro.lint.core import Finding, findings_sorted
+
+    def f(path, line, rule, col):
+        return Finding(rule=rule, message="m", path=path,
+                       module="repro.x", line=line, col=col)
+
+    shuffled = [
+        f("b.py", 1, "L001", 0),
+        f("a.py", 2, "D001", 9),
+        f("a.py", 2, "A001", 30),  # later col, earlier rule id
+        f("a.py", 1, "L001", 0),
+    ]
+    ordered = findings_sorted(shuffled)
+    key = [(x.path, x.line, x.rule) for x in ordered]
+    assert key == [
+        ("a.py", 1, "L001"),
+        ("a.py", 2, "A001"),
+        ("a.py", 2, "D001"),
+        ("b.py", 1, "L001"),
+    ]
+
+
 # -- reporters ---------------------------------------------------------------
 
 
@@ -509,7 +597,7 @@ def test_text_reporter_format():
     text = render_text(result)
     assert "src/repro/ffs/filesystem.py:1:1: L001" in text
     assert text.splitlines()[-1] == (
-        "checked 1 file(s), 5 rule(s): 1 finding(s), 0 suppressed"
+        "checked 1 file(s), 6 rule(s): 1 finding(s), 0 suppressed"
     )
 
 
