@@ -121,6 +121,19 @@ def _build_multiclient():
     return holder, run, n_clients * files_per_client * len(phases)
 
 
+def _build_cluster():
+    from repro.cluster import TrafficConfig, run_cluster_traffic
+
+    cfg = TrafficConfig(shards=4, clients=160, ops_per_client=3, dirs=32,
+                        file_size=4096, seed=1997)
+    holder: Dict[str, object] = {}
+
+    def run() -> None:
+        holder["result"] = run_cluster_traffic(cfg)
+
+    return holder, run, cfg.clients * cfg.ops_per_client
+
+
 SCENARIOS: Dict[str, Scenario] = {
     "smallfile_create": Scenario(
         "smallfile_create",
@@ -141,6 +154,11 @@ SCENARIOS: Dict[str, Scenario] = {
         "multiclient",
         "8 concurrent clients through the event loop, create+read",
         _build_multiclient,
+    ),
+    "cluster": Scenario(
+        "cluster",
+        "160 Zipfian clients over a 4-shard cluster, util router",
+        _build_cluster,
     ),
 }
 
@@ -182,9 +200,12 @@ def measure_calibration(rounds: int = _CALIB_ROUNDS) -> float:
 
 def _sim_seconds(subject: object) -> float:
     """Simulated seconds elapsed on the scenario's clock."""
-    if isinstance(subject, dict):  # the multiclient holder
-        mc = subject.get("result")
-        return float(mc.total_seconds) if mc is not None else 0.0
+    if isinstance(subject, dict):  # a result holder (multiclient, cluster)
+        result = subject.get("result")
+        if result is None:
+            return 0.0
+        return float(getattr(result, "total_seconds", None)
+                     or getattr(result, "seconds", 0.0))
     return float(subject.cache.device.clock.now)
 
 

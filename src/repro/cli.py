@@ -20,6 +20,7 @@
     python -m repro info site.img
     python -m repro bench --files 2000               # small-file benchmark
     python -m repro multiclient --clients 8 --fs cffs  # concurrency engine
+    python -m repro cluster --shards 4 --clients 1000  # sharded replay
     python -m repro trace --workload smallfile --format chrome  # span export
 
 Images are sparse compressed snapshots of the simulated disk; the drive
@@ -412,6 +413,60 @@ def cmd_multiclient(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    import json as _json
+
+    from repro.cluster import (
+        ROUTER_KINDS,
+        TrafficConfig,
+        cluster_summary,
+        render_cluster,
+        run_cluster_traffic,
+    )
+    from repro.engine import SCHEDULERS
+
+    if args.scheduler not in SCHEDULERS:
+        print("unknown scheduler %r; known: %s"
+              % (args.scheduler, ", ".join(SCHEDULERS)), file=sys.stderr)
+        return 2
+    if args.router not in ROUTER_KINDS:
+        print("unknown router %r; known: %s"
+              % (args.router, ", ".join(ROUTER_KINDS)), file=sys.stderr)
+        return 2
+    cfg = TrafficConfig(
+        shards=args.shards,
+        clients=args.clients,
+        ops_per_client=args.ops,
+        dirs=args.dirs,
+        zipf_theta=args.zipf,
+        read_fraction=args.read_mix,
+        rename_fraction=args.rename_mix,
+        file_size=args.size,
+        label=args.fs,
+        policy=policy_from_args(args),
+        scheduler=args.scheduler,
+        router=args.router,
+        seed=args.seed,
+    )
+    result = run_cluster_traffic(cfg)
+    print(render_cluster(result))
+    if args.baseline:
+        single = run_cluster_traffic(
+            TrafficConfig(**{**vars(cfg), "shards": 1}))
+        print()
+        print("1-shard baseline: %.1f ops/s  ->  %d-shard speedup %.2fx"
+              % (single.ops_per_second, cfg.shards,
+                 result.ops_per_second / single.ops_per_second))
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(cluster_summary(result), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        # stderr: the stdout report must stay byte-identical across
+        # identically-seeded runs regardless of the summary's filename.
+        print("summary -> %s" % args.json, file=sys.stderr)
+    return 0
+
+
 def cmd_trace(args) -> int:
     from repro import obs
     from repro.engine.multiclient import resolve_label
@@ -633,6 +688,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-format", choices=("chrome", "jsonl", "flame"),
                    default="chrome")
     p.set_defaults(func=cmd_multiclient)
+
+    p = sub.add_parser(
+        "cluster",
+        help="replay a Zipfian many-client load over a sharded cluster")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--clients", type=int, default=1000,
+                   help="concurrent simulated clients (default 1000)")
+    p.add_argument("--ops", type=int, default=3,
+                   help="operations per client")
+    p.add_argument("--dirs", type=int, default=96,
+                   help="top-level directories the load targets")
+    p.add_argument("--zipf", type=float, default=0.9,
+                   help="Zipf theta for directory popularity")
+    p.add_argument("--read-mix", type=float, default=0.55,
+                   help="fraction of ops that are reads")
+    p.add_argument("--rename-mix", type=float, default=0.02,
+                   help="fraction of ops that are renames (may cross shards)")
+    p.add_argument("--size", type=int, default=16384,
+                   help="file size written by write ops")
+    p.add_argument("--fs", default="cffs",
+                   help="ffs, conventional, embedded, grouping or cffs")
+    p.add_argument("--scheduler", default="clook",
+                   help="per-shard queue discipline: fcfs, sstf or clook")
+    p.add_argument("--router", choices=("hash", "util"), default="util",
+                   help="placement policy: consistent hashing or "
+                        "utilization-aware least-loaded")
+    p.add_argument("--seed", type=int, default=1997)
+    add_policy_argument(p)
+    p.add_argument("--baseline", action="store_true",
+                   help="also run the same load on 1 shard and report speedup")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the machine-readable summary here")
+    p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser(
         "lint",

@@ -1,0 +1,75 @@
+"""Sharded multi-volume cluster: scale-out over independent engines.
+
+The paper's systems scale a *single* disk arm by embedding inodes and
+grouping small files; this package scales *out*: N complete vertical
+stacks (drive, cache, file system — :class:`~repro.cluster.core.Shard`)
+coupled under one shared event loop, fronted by a namespace router that
+places top-level directory subtrees on shards
+(:mod:`~repro.cluster.router`), a crash-safe cross-shard rename
+protocol (:mod:`~repro.cluster.intent`), a FileSystem-shaped facade so
+existing workloads run unmodified (:mod:`~repro.cluster.facade`), and a
+Zipfian many-client traffic model (:mod:`~repro.cluster.traffic`).
+"""
+
+from repro.cluster.core import Cluster, ClusterClient, ClusterOp, Leg, Shard
+from repro.cluster.facade import ClusterFS, split_top
+from repro.cluster.intent import (
+    CLUSTER_DIR,
+    encode_intent,
+    intent_path,
+    parse_intent,
+    pending_intents,
+    recover_shard_intents,
+)
+from repro.cluster.router import (
+    DEFAULT_VNODES,
+    ROUTE_CPU_SECONDS,
+    ROUTER_KINDS,
+    HashRouter,
+    Router,
+    UtilizationRouter,
+    make_router,
+)
+from repro.cluster.traffic import (
+    CLUSTER_SCHEMA,
+    ClusterTrafficResult,
+    ShardBalance,
+    TrafficConfig,
+    ZipfSampler,
+    cluster_summary,
+    render_cluster,
+    run_cluster_traffic,
+    validate_cluster_summary,
+)
+
+__all__ = [
+    "CLUSTER_DIR",
+    "CLUSTER_SCHEMA",
+    "Cluster",
+    "ClusterClient",
+    "ClusterFS",
+    "ClusterOp",
+    "ClusterTrafficResult",
+    "DEFAULT_VNODES",
+    "HashRouter",
+    "Leg",
+    "ROUTER_KINDS",
+    "ROUTE_CPU_SECONDS",
+    "Router",
+    "Shard",
+    "ShardBalance",
+    "TrafficConfig",
+    "UtilizationRouter",
+    "ZipfSampler",
+    "cluster_summary",
+    "encode_intent",
+    "intent_path",
+    "make_router",
+    "parse_intent",
+    "pending_intents",
+    "recover_shard_intents",
+    "render_cluster",
+    "run_cluster_traffic",
+    "split_top",
+    "validate_cluster_summary",
+]

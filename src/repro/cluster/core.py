@@ -1,0 +1,419 @@
+"""The cluster: N independent engines behind one namespace router.
+
+Scale *out*, not just up: each :class:`Shard` is a complete vertical
+stack — its own simulated drive, block device, buffer cache and file
+system (any metadata policy, optionally the self-healing resilient
+device) — and the :class:`Cluster` couples them under **one** shared
+event loop and **one** metrics registry, fronted by the namespace
+router (:mod:`repro.cluster.router`) and the VFS-like facade
+(:mod:`repro.cluster.facade`).
+
+Execution styles mirror the single-engine harness:
+
+- **lock-step** — facade calls run synchronously against the owning
+  shard, with the shard's device clock and the shared loop clock
+  meeting at the later of the two around every call (the cluster-wide
+  generalization of ``Engine.run_sync``).
+- **concurrent** — :meth:`Cluster.run_phase` replays
+  :class:`ClusterClient` op scripts through the capture-replay
+  machinery.  A cluster op resolves (lazily, at op start) to one or
+  more *legs*, each ``(shard, callable)``: single-shard ops have one
+  leg, a cross-shard rename has four (read source, intent+copy on the
+  destination, unlink source, clear intent).  Each leg is captured on
+  its shard's engine and its requests replay into that shard's disk
+  queue, so N shards genuinely run N arms in parallel while every
+  client still executes its own ops in order.
+
+Determinism is inherited wholesale: one event loop, FIFO tie-breaks,
+seeded scripts, no wall clock — two identically-seeded cluster runs
+render byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.blockdev.device import BlockDevice
+from repro.cache.policy import MetadataPolicy
+from repro.cluster.intent import (
+    CLUSTER_DIR,
+    durable_unlink,
+    durable_write,
+    encode_intent,
+    intent_path,
+    recover_shard_intents,
+)
+from repro.cluster.router import ROUTE_CPU_SECONDS, Router, make_router
+from repro.core.filesystem import CFFS
+from repro.disk.profiles import SEAGATE_ST31200, DriveProfile
+from repro.engine.client import Engine, OpRecord
+from repro.engine.eventloop import EventLoop
+from repro.engine.multiclient import resolve_label
+from repro.errors import InvalidArgument
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.device import ResilientBlockDevice
+from repro.workloads.configs import build_filesystem, config_for
+
+#: One leg of a cluster operation: run ``fn`` against this shard's fs.
+Leg = Tuple["Shard", Callable[[object], object]]
+
+#: One scripted cluster operation: a label plus either the legs or a
+#: zero-argument resolver returning them (resolved at op start, so
+#: routing sees the namespace as it exists *then*).
+ClusterOp = Tuple[str, object]
+
+
+class Shard:
+    """One vertical stack: device + cache + file system (+ engine)."""
+
+    def __init__(self, sid: int, fs, engine: Optional[Engine]) -> None:
+        self.sid = sid
+        self.name = "s%d" % sid
+        self.fs = fs
+        self.engine = engine
+
+    @property
+    def device(self):
+        return self.fs.cache.device
+
+    @property
+    def queue(self):
+        if self.engine is None:
+            raise InvalidArgument(
+                "shard %s has no engine (resilient or pre-mounted shards "
+                "support lock-step use only)" % self.name)
+        return self.engine.queue
+
+
+class ClusterClient:
+    """One simulated client of the cluster (capture-replay, multi-shard).
+
+    Satisfies the report-module client shape (``name``, ``records``,
+    ``latencies``); unlike the single-engine :class:`ClientContext` it
+    keeps its accounting in plain attributes — a cluster replays
+    thousands of clients, and per-client registry metrics at that scale
+    would swamp the registry snapshot.
+    """
+
+    __slots__ = ("cluster", "cid", "name", "records", "finished_at")
+
+    def __init__(self, cluster: "Cluster", cid: int, name: str) -> None:
+        self.cluster = cluster
+        self.cid = cid
+        self.name = name
+        self.records: List[OpRecord] = []
+        self.finished_at: Optional[float] = None
+
+    def latencies(self, phase: Optional[str] = None) -> List[float]:
+        return [r.latency for r in self.records
+                if phase is None or r.phase == phase]
+
+    def _run_ops(self, ops: Sequence[ClusterOp], phase: str):
+        """Generator yielding ("cpu", s) / ("io", (shard, request))."""
+        cluster = self.cluster
+        loop = cluster.loop
+        for label, legs in ops:
+            start = loop.now
+            if callable(legs):
+                legs = legs()
+            route_cpu = cluster._take_route_cpu()
+            nreq = 0
+            qdelay = 0.0
+            retries = 0
+            cpu = route_cpu
+            error: Optional[str] = None
+            if route_cpu > 0:
+                yield ("cpu", route_cpu)
+            for shard, fn in legs:
+                cap = shard.engine.capture(fn)
+                cpu += cap.cpu_total
+                for step in cap.requests:
+                    if step.cpu_before > 0:
+                        yield ("cpu", step.cpu_before)
+                    done = yield ("io", (shard, step))
+                    nreq += 1
+                    qdelay += done.queue_delay
+                    retries += done.retries
+                    if done.error is not None:
+                        error = done.error
+                        break
+                if error is not None:
+                    break
+                if cap.trailing_cpu > 0:
+                    yield ("cpu", cap.trailing_cpu)
+            self.records.append(OpRecord(
+                phase=phase, label=label, client=self.cid,
+                start=start, end=loop.now,
+                n_requests=nreq, queue_delay=qdelay,
+                cpu_seconds=cpu, retries=retries, error=error,
+            ))
+
+
+class Cluster:
+    """N shards, one loop, one router, one registry."""
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        label: str = "cffs",
+        policy: MetadataPolicy = MetadataPolicy.SYNC_METADATA,
+        scheduler: str = "clook",
+        router: str = "util",
+        profile: Optional[DriveProfile] = None,
+        resilient: bool = False,
+        filesystems: Optional[Sequence] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.loop = EventLoop()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.router: Router = make_router(
+            router, len(filesystems) if filesystems is not None else n_shards)
+        self.scheduler = scheduler
+        self.label = label
+        self.policy = policy
+        self.shards: List[Shard] = []
+        self.clients: List[ClusterClient] = []
+        self._intent_seq = 0
+        self._pending_route_cpu = 0.0
+        if filesystems is not None:
+            for sid, fs in enumerate(filesystems):
+                self.shards.append(Shard(sid, fs, self._make_engine(fs)))
+        else:
+            if n_shards < 1:
+                raise InvalidArgument(
+                    "need at least one shard, got %d" % n_shards)
+            for sid in range(n_shards):
+                fs = self._build_shard_fs(label, policy, profile, resilient)
+                self.shards.append(Shard(sid, fs, self._make_engine(fs)))
+        for shard in self.shards:
+            if not shard.fs.exists(CLUSTER_DIR):
+                shard.fs.mkdir(CLUSTER_DIR)
+                shard.fs.sync()
+        # Facade import is deferred: facade.py imports this module.
+        from repro.cluster.facade import ClusterFS
+        self.fs = ClusterFS(self)
+        for shard in self.shards:
+            self.loop.clock.advance_to(shard.device.clock.now)
+
+    @staticmethod
+    def _build_shard_fs(label, policy, profile, resilient):
+        if not resilient:
+            return build_filesystem(resolve_label(label), policy, profile)
+        device = ResilientBlockDevice.format(BlockDevice(
+            profile if profile is not None else SEAGATE_ST31200))
+        return CFFS.mkfs(device, config_for(resolve_label(label), policy))
+
+    def _make_engine(self, fs) -> Optional[Engine]:
+        if not isinstance(fs.cache.device, BlockDevice):
+            return None   # resilient/wrapped devices: lock-step only
+        return Engine(fs, scheduler=self.scheduler, loop=self.loop,
+                      metrics=self.metrics)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    # -- routing ---------------------------------------------------------------
+
+    def route(self, top: str) -> Shard:
+        """The shard owning top-level name ``top`` (placing new names).
+
+        Counts the route and charges the router's CPU cost to whichever
+        execution style picks it up next (lock-step facade call or the
+        client generator's next cpu event).
+        """
+        sid = self.router.place(top)
+        self.router.charge(sid)
+        self.metrics.counter("cluster.router.routes").inc()
+        self.metrics.counter("cluster.%s.ops" % self.shards[sid].name).inc()
+        self._pending_route_cpu += ROUTE_CPU_SECONDS
+        return self.shards[sid]
+
+    def account(self, shard: Shard, bytes_read: int = 0,
+                bytes_written: int = 0) -> None:
+        """Attribute data volume to a shard (per-shard balance report)."""
+        if bytes_read:
+            self.metrics.counter(
+                "cluster.%s.bytes_read" % shard.name).inc(bytes_read)
+        if bytes_written:
+            self.metrics.counter(
+                "cluster.%s.bytes_written" % shard.name).inc(bytes_written)
+
+    def _take_route_cpu(self) -> float:
+        cost = self._pending_route_cpu
+        self._pending_route_cpu = 0.0
+        return cost
+
+    def rebuild_assignments(self) -> Dict[str, int]:
+        """Re-derive the router table from the shards' root namespaces.
+
+        The namespace itself is the durable record of placement: every
+        top-level directory lives on exactly one shard, so scanning the
+        roots after a restart reproduces the assignment exactly (the
+        placement-determinism tests pin this).
+        """
+        for shard in self.shards:
+            for name in sorted(shard.fs.readdir("/")):
+                if name == CLUSTER_DIR.strip("/"):
+                    continue
+                self.router.adopt(name, shard.sid)
+        return dict(self.router.assignments)
+
+    def recover(self) -> List[Tuple[int, str]]:
+        """Apply cross-shard rename intent recovery on every shard."""
+        filesystems = {shard.sid: shard.fs for shard in self.shards}
+        outcomes: List[Tuple[int, str]] = []
+        for shard in self.shards:
+            outcomes.extend(recover_shard_intents(shard.sid, filesystems))
+        return outcomes
+
+    # -- lock-step sections ----------------------------------------------------
+
+    def lockstep(self, shard: Shard, fn: Callable) -> object:
+        """Run ``fn(shard.fs)`` synchronously on cluster time."""
+        if self.loop.pending:
+            raise InvalidArgument(
+                "cannot run a lock-step section with events pending")
+        shard.device.clock.advance_to(self.loop.now)
+        cost = self._take_route_cpu()
+        if cost > 0:
+            shard.fs.cpu.clock.advance(cost)
+        result = fn(shard.fs)
+        self.loop.clock.advance_to(shard.device.clock.now)
+        return result
+
+    def run_sync(self, fn: Callable) -> object:
+        """Run ``fn(cluster.fs)`` — existing workloads, unmodified."""
+        if self.loop.pending:
+            raise InvalidArgument(
+                "cannot run a sync section with events pending")
+        return fn(self.fs)
+
+    def sync_all(self) -> int:
+        """Sync every shard (the cluster-wide barrier); returns requests."""
+        return sum(self.lockstep(shard, lambda f: f.sync())
+                   for shard in self.shards)
+
+    def sync_concurrent(self) -> float:
+        """The cluster-wide sync barrier with the N arms overlapped.
+
+        :meth:`sync_all` drains the shards one after another on the
+        shared clock — correct, but it charges the sum of N flushes to
+        simulated time.  N volumes behind N independent arms drain in
+        parallel, so this replays each shard's sync through its engine
+        instead (one throwaway client per shard, invisible to reports)
+        and costs the *slowest* shard's flush.  Returns elapsed time.
+        """
+        assignments: Dict[ClusterClient, List[ClusterOp]] = {}
+        for shard in self.shards:
+            client = ClusterClient(self, -(shard.sid + 1),
+                                   "sync-%s" % shard.name)
+            assignments[client] = [("sync", [(shard, lambda f: f.sync())])]
+        return self.run_phase(assignments, "sync")
+
+    def drop_caches_all(self) -> None:
+        for shard in self.shards:
+            self.lockstep(shard, lambda f: f.drop_caches())
+
+    # -- concurrent sections ---------------------------------------------------
+
+    def add_client(self, name: Optional[str] = None) -> ClusterClient:
+        cid = len(self.clients)
+        client = ClusterClient(
+            self, cid, name if name is not None else "c%04d" % cid)
+        self.clients.append(client)
+        return client
+
+    def run_phase(self, assignments: Dict[ClusterClient, Sequence[ClusterOp]],
+                  phase: str = "phase") -> float:
+        """Replay every client's ops concurrently; returns elapsed time."""
+        for shard in self.shards:
+            if shard.engine is None:
+                raise InvalidArgument(
+                    "concurrent replay needs an engine on every shard; "
+                    "shard %s is lock-step only" % shard.name)
+        if self.loop.pending:
+            raise InvalidArgument("phase already running")
+        start = self.loop.now
+        for client, ops in assignments.items():
+            gen = client._run_ops(list(ops), phase)
+            self.loop.call_at(start, self._step, client, gen, None)
+        self.loop.run()
+        for shard in self.shards:
+            shard.device.clock.advance_to(self.loop.now)
+        return self.loop.now - start
+
+    def _step(self, client: ClusterClient, gen, payload) -> None:
+        try:
+            kind, arg = gen.send(payload)
+        except StopIteration:
+            client.finished_at = self.loop.now
+            return
+        if kind == "cpu":
+            self.loop.call_later(arg, self._step, client, gen, None)
+            return
+        shard, step = arg
+        if step.op == "flush":
+            shard.queue.flush_barrier(
+                client.cid, lambda req: self._step(client, gen, req))
+        else:
+            shard.queue.submit(
+                step.op, step.lba, step.nsectors, client.cid,
+                lambda req: self._step(client, gen, req))
+
+    # -- cross-shard rename ----------------------------------------------------
+
+    def next_intent_seq(self) -> int:
+        self._intent_seq += 1
+        return self._intent_seq
+
+    def rename_legs(self, src_shard: Shard, old: str,
+                    dst_shard: Shard, new: str) -> List[Leg]:
+        """The four legs of a crash-safe cross-shard file rename.
+
+        See :mod:`repro.cluster.intent` for the protocol and recovery
+        argument.  The legs run in order (lock-step, or sequentially
+        within one client's replayed op) and each ends with *targeted*
+        durability — intent and copy fsynced, source unlink forced per
+        policy — so every later leg starts from durable state on the
+        earlier legs' shards without dragging unrelated dirty data
+        into the rename's critical path.
+        """
+        ipath = intent_path(self.next_intent_seq())
+        payload = encode_intent(src_shard.sid, old, new)
+        cell: Dict[str, bytes] = {}
+        cluster = self
+
+        def read_src(f):
+            cell["data"] = f.read_file(old)
+            cluster.account(src_shard, bytes_read=len(cell["data"]))
+
+        def copy_dst(f):
+            durable_write(f, ipath, payload)
+            durable_write(f, new, cell["data"])
+            cluster.account(dst_shard, bytes_written=len(cell["data"]))
+
+        def unlink_src(f):
+            durable_unlink(f, old)
+
+        def clear_dst(f):
+            # Durability deliberately not forced: a stale intent whose
+            # source is gone recovers by (idempotent) roll-forward.
+            f.unlink(ipath)
+
+        self.metrics.counter("cluster.rename.cross_shard").inc()
+        return [(src_shard, read_src), (dst_shard, copy_dst),
+                (src_shard, unlink_src), (dst_shard, clear_dst)]
+
+
+__all__ = [
+    "Cluster",
+    "ClusterClient",
+    "ClusterOp",
+    "Leg",
+    "Shard",
+]

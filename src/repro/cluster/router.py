@@ -1,0 +1,176 @@
+"""Namespace routing: which shard owns a top-level directory subtree.
+
+The cluster's namespace is partitioned at the *top-level component*:
+``/logs/2026/08/a.txt`` lives wholly on whichever shard owns ``logs``.
+Placing whole subtrees (rather than single files) keeps directory
+locality — the property the paper's grouping argument rests on — intact
+within a shard, and keeps the router off the data path: one dictionary
+lookup per operation, never a disk access.
+
+Two pluggable policies:
+
+- :class:`HashRouter` — consistent hashing over a ring of virtual
+  nodes.  Placement is a pure function of the name and the shard
+  count, so any node (or a future client library) can compute it
+  without coordination, and it is trivially stable across restarts.
+- :class:`UtilizationRouter` — utilization-aware placement in the CFS
+  style: a *new* top-level directory goes to the shard with the least
+  routed load at that moment.  Under skewed (Zipfian) directory
+  popularity this online-greedy rule evens out per-shard load far
+  better than hashing, at the cost of keeping an assignment table.
+
+Both are deterministic: hashes come from :func:`zlib.crc32` (never the
+salted builtin ``hash``), and ties break toward the lowest shard id.
+Assignments are first-touch-sticky — ``place`` returns the recorded
+owner forever after — and :meth:`Router.adopt` rebuilds the table from
+a mounted cluster's root listings, so a shard-count-preserving restart
+reproduces the exact same mapping (pinned by the placement-determinism
+tests).
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Dict, List, Optional
+
+from repro.errors import InvalidArgument
+
+ROUTER_KINDS = ("hash", "util")
+
+#: Virtual nodes per shard on the consistent-hash ring.  Enough that
+#: the ring's arc lengths even out (the classic variance argument);
+#: small enough that building the ring is negligible.
+DEFAULT_VNODES = 64
+
+#: Simulated CPU seconds one routing decision costs (a CRC over a short
+#: name plus a dictionary probe).  Charged by the cluster per routed
+#: operation so router overhead shows up in simulated time, not just as
+#: a counter.
+ROUTE_CPU_SECONDS = 1.5e-6
+
+
+class Router:
+    """Base class: first-touch-sticky placement of top-level names."""
+
+    kind = "base"
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise InvalidArgument("need at least one shard, got %d" % n_shards)
+        self.n_shards = n_shards
+        self.assignments: Dict[str, int] = {}
+
+    def place(self, top: str) -> int:
+        """The shard owning ``top``, assigning it on first touch."""
+        sid = self.assignments.get(top)
+        if sid is None:
+            sid = self._pick(top)
+            self.assignments[top] = sid
+            self._placed(sid)
+        return sid
+
+    def _placed(self, sid: int) -> None:
+        """First-touch hook: a new name was just assigned to ``sid``."""
+
+    def adopt(self, top: str, sid: int) -> None:
+        """Record an existing placement (rebuild from mounted shards)."""
+        if not 0 <= sid < self.n_shards:
+            raise InvalidArgument(
+                "shard %d out of range for %d shards" % (sid, self.n_shards))
+        self.assignments[top] = sid
+
+    def probe(self, top: str) -> Optional[int]:
+        """Where ``top`` lives, *without* placing it (None if unknown)."""
+        return self.assignments.get(top)
+
+    def charge(self, sid: int, ops: int = 1) -> None:
+        """Account ``ops`` routed operations against shard ``sid``."""
+
+    def _pick(self, top: str) -> int:
+        raise NotImplementedError
+
+
+class HashRouter(Router):
+    """Consistent hashing with virtual nodes (stateless placement)."""
+
+    kind = "hash"
+
+    def __init__(self, n_shards: int, vnodes: int = DEFAULT_VNODES) -> None:
+        super().__init__(n_shards)
+        if vnodes < 1:
+            raise InvalidArgument("need at least one vnode, got %d" % vnodes)
+        self.vnodes = vnodes
+        ring = sorted(
+            (zlib.crc32(b"shard-%d/vnode-%d" % (sid, v)), sid)
+            for sid in range(n_shards)
+            for v in range(vnodes)
+        )
+        self._points: List[int] = [point for point, _ in ring]
+        self._owners: List[int] = [sid for _, sid in ring]
+
+    def _pick(self, top: str) -> int:
+        h = zlib.crc32(top.encode("utf-8"))
+        index = bisect.bisect_left(self._points, h) % len(self._points)
+        return self._owners[index]
+
+    def probe(self, top: str) -> Optional[int]:
+        # Hash placement is a pure function of the name: probing is
+        # exact even for names this router instance has never seen.
+        return self.assignments.get(top, self._pick(top))
+
+
+class UtilizationRouter(Router):
+    """Least-loaded placement for new names (utilization-aware).
+
+    Load is the count of operations routed to each shard so far (see
+    :meth:`charge`); a popular directory therefore raises its shard's
+    load and pushes subsequent new directories elsewhere — the online
+    greedy balancer.  ``adopt`` counts one unit per adopted directory
+    so a rebuilt router starts from a sane relative ordering.
+    """
+
+    kind = "util"
+
+    def __init__(self, n_shards: int) -> None:
+        super().__init__(n_shards)
+        self.load: List[int] = [0] * n_shards
+
+    def _pick(self, top: str) -> int:
+        least = min(self.load)
+        return self.load.index(least)   # lowest sid wins ties
+
+    def adopt(self, top: str, sid: int) -> None:
+        fresh = top not in self.assignments
+        super().adopt(top, sid)
+        if fresh:
+            self._placed(sid)
+
+    def _placed(self, sid: int) -> None:
+        # A directory is load the moment it exists (mirrors adopt, so a
+        # rebuilt router starts from the same relative ordering).
+        self.load[sid] += 1
+
+    def charge(self, sid: int, ops: int = 1) -> None:
+        self.load[sid] += ops
+
+
+def make_router(kind: str, n_shards: int) -> Router:
+    """Build the router for a ``--router`` CLI choice."""
+    if kind == "hash":
+        return HashRouter(n_shards)
+    if kind == "util":
+        return UtilizationRouter(n_shards)
+    raise InvalidArgument(
+        "unknown router %r; known: %s" % (kind, ", ".join(ROUTER_KINDS)))
+
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "HashRouter",
+    "ROUTER_KINDS",
+    "ROUTE_CPU_SECONDS",
+    "Router",
+    "UtilizationRouter",
+    "make_router",
+]

@@ -22,15 +22,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.analysis.metrics import (
-    LatencySummary,
-    jain_fairness,
-    summarize_latencies,
-)
 from repro.analysis.report import Table
 from repro.cache.policy import MetadataPolicy
 from repro.disk.profiles import DriveProfile
 from repro.engine.client import ClientContext, Engine
+from repro.engine.report import ClientSummary, PhaseReport, summarize_phase
 from repro.errors import InvalidArgument
 from repro.faults.schedule import FaultSchedule, RetryPolicy
 from repro.workloads.configs import CONFIG_GRID, build_filesystem
@@ -57,41 +53,6 @@ def resolve_label(label: str) -> str:
             "unknown file system %r; known: ffs, %s"
             % (label, ", ".join(CONFIG_GRID)))
     return label
-
-
-@dataclass
-class ClientSummary:
-    """One client's view of one phase."""
-
-    client: str
-    n_ops: int
-    ops_per_second: float
-    cpu_seconds: float
-    queue_delay: float           # total host-queue wait across requests
-    n_requests: int
-    latency: LatencySummary
-    retries: int = 0             # transient disk faults this client rode out
-    io_errors: int = 0           # operations aborted by a hard fault
-
-
-@dataclass
-class PhaseReport:
-    """Aggregate and per-client measurements for one phase."""
-
-    phase: str
-    seconds: float
-    n_ops: int
-    latency: LatencySummary      # across all clients' operations
-    per_client: List[ClientSummary] = field(default_factory=list)
-    mean_queue_depth: float = 0.0
-    mean_queue_delay: float = 0.0
-    fairness: float = 1.0        # Jain index over per-client rates
-    retried: int = 0             # queue-level transient-fault requeues
-    failed: int = 0              # requests that completed with an error
-
-    @property
-    def ops_per_second(self) -> float:
-        return self.n_ops / self.seconds if self.seconds > 0 else float("inf")
 
 
 @dataclass
@@ -231,44 +192,8 @@ def run_multiclient(
             engine.run_sync(lambda f: f.sync())
             seconds = engine.now - start
             queue_delta = engine.queue.stats.delta(queue_before)
-
-            summaries: List[ClientSummary] = []
-            rates: List[float] = []
-            all_latencies: List[float] = []
-            total_ops = 0
-            for client in clients:
-                records = [r for r in client.records if r.phase == phase]
-                latencies = [r.latency for r in records]
-                all_latencies.extend(latencies)
-                total_ops += len(records)
-                finish = max((r.end for r in records), default=start)
-                span = finish - start
-                rate = len(records) / span if span > 0 else float("inf")
-                rates.append(rate)
-                summaries.append(ClientSummary(
-                    client=client.name,
-                    n_ops=len(records),
-                    ops_per_second=rate,
-                    cpu_seconds=sum(r.cpu_seconds for r in records),
-                    queue_delay=sum(r.queue_delay for r in records),
-                    n_requests=sum(r.n_requests for r in records),
-                    latency=summarize_latencies(latencies),
-                    retries=sum(r.retries for r in records),
-                    io_errors=sum(1 for r in records if r.error is not None),
-                ))
-            result.phases[phase] = PhaseReport(
-                phase=phase,
-                seconds=seconds,
-                n_ops=total_ops,
-                latency=summarize_latencies(all_latencies),
-                per_client=summaries,
-                mean_queue_depth=(queue_delta.depth_area / seconds
-                                  if seconds > 0 else 0.0),
-                mean_queue_delay=queue_delta.mean_queue_delay,
-                fairness=jain_fairness(rates),
-                retried=queue_delta.retried,
-                failed=queue_delta.failed,
-            )
+            result.phases[phase] = summarize_phase(
+                phase, start, seconds, clients, queue_delta)
             if index + 1 < len(phase_list):
                 engine.run_sync(lambda f: f.drop_caches())
         return result

@@ -28,7 +28,7 @@ replays a prefix onto a fresh device — the crash-point sweep images.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.blockdev.device import BLOCK_SIZE, SECTORS_PER_BLOCK, BlockDevice
 from repro.blockdev.scheduler import clook_order, coalesce_blocks
@@ -59,6 +59,11 @@ class FaultyBlockDevice:
         self.stats = FaultStats()
         self.journal: Optional[List[Tuple[int, bytes]]] = (
             [] if record_journal else None)
+        # Called once per landed media write as (block, data), after the
+        # journal append.  Lets a harness interleave several devices'
+        # write streams into one global order — the cluster crash sweep
+        # kills a multi-shard protocol at every point of that order.
+        self.on_media_write: Optional[Callable[[int, bytes], None]] = None
         self.dead = False
         self._rotted: set = set()   # rot already applied to the media
 
@@ -183,6 +188,8 @@ class FaultyBlockDevice:
                 self._rotted.discard(start + i)
                 if self.journal is not None:
                     self.journal.append((start + i, bytes(blocks[i])))
+                if self.on_media_write is not None:
+                    self.on_media_write(start + i, bytes(blocks[i]))
             self.stats.media_writes += landed
         if cut:
             self.stats.power_cuts += 1

@@ -67,9 +67,15 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     "analysis": frozenset({"disk"}),
     "bench": frozenset(
         {
+            "analysis", "blockdev", "cache", "cluster", "core", "disk",
+            "engine", "faults", "ffs", "fsck", "journal", "resilience",
+            "vfs", "workloads",
+        }
+    ),
+    "cluster": frozenset(
+        {
             "analysis", "blockdev", "cache", "core", "disk", "engine",
-            "faults", "ffs", "fsck", "journal", "resilience", "vfs",
-            "workloads",
+            "resilience", "vfs", "workloads",
         }
     ),
     "lint": frozenset(),

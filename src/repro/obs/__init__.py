@@ -53,7 +53,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Number,
 )
-from repro.obs.tracer import NULL_SPAN, Span, Tracer, _NullSpan
+from repro.obs.tracer import NULL_SPAN, Span, Tracer, _NullSpan, span_name
 
 __all__ = [
     "FORMATS",
@@ -77,6 +77,7 @@ __all__ = [
     "observe",
     "record",
     "span",
+    "span_name",
     "uninstall",
     "write_export",
 ]

@@ -26,11 +26,29 @@ installed (see :mod:`repro.obs`).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import sys
+from typing import Dict, List, Optional, Tuple
 
 from repro.clock import SimClock
 from repro.errors import InvalidArgument
 from repro.obs.metrics import MetricsRegistry, Number
+
+#: Interned ``"layer.op"`` names, keyed by the (layer, op) pair.  Span
+#: names draw from a small fixed vocabulary but are read on every hot
+#: path (exporters, span-count assertions, out-of-order diagnostics);
+#: interning means each distinct name is formatted and hashed once for
+#: the life of the process, and repeated reads return the same object.
+_NAME_CACHE: Dict[Tuple[str, str], str] = {}
+
+
+def span_name(layer: str, op: str) -> str:
+    """The interned ``"layer.op"`` display name for a span."""
+    key = (layer, op)
+    name = _NAME_CACHE.get(key)
+    if name is None:
+        name = sys.intern("%s.%s" % (layer, op))
+        _NAME_CACHE[key] = name
+    return name
 
 
 class Span:
@@ -55,7 +73,7 @@ class Span:
 
     @property
     def name(self) -> str:
-        return "%s.%s" % (self.layer, self.op)
+        return span_name(self.layer, self.op)
 
     @property
     def duration(self) -> float:

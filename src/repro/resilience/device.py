@@ -489,23 +489,37 @@ class ResilientBlockDevice:
     def _write_reserved(self, writes: Dict[int, bytes]) -> None:
         """Write reserved-region blocks with a small retry budget.
 
+        Contiguous dirty blocks ship as one extent request — the CRC
+        sidecar region runs hot during sync, and per-block requests
+        there pay a full positioning cost each.  A failing extent falls
+        back to per-block writes so the retry budget and the health
+        demotion still name the exact unwritable block.
+
         The reserved tail is not remappable (the map must live
         somewhere); a persistent failure here demotes the device.
         """
-        for bno in sorted(writes):
-            last: Optional[MediaWriteError] = None
-            for _ in range(self.policy.max_read_retries):
+        for start, count in coalesce_blocks(sorted(writes)):
+            if count > 1:
                 try:
-                    self.inner.write_extent(bno, [writes[bno]])
-                    last = None
-                    break
-                except MediaWriteError as exc:
-                    last = exc
-            if last is not None:
-                self.health.transition(
-                    HealthState.READ_ONLY, self.clock.now,
-                    "reserved block %d unwritable" % bno)
-                raise last
+                    self.inner.write_extent(
+                        start, [writes[b] for b in range(start, start + count)])
+                    continue
+                except MediaWriteError:
+                    pass   # isolate the failing block below
+            for bno in range(start, start + count):
+                last: Optional[MediaWriteError] = None
+                for _ in range(self.policy.max_read_retries):
+                    try:
+                        self.inner.write_extent(bno, [writes[bno]])
+                        last = None
+                        break
+                    except MediaWriteError as exc:
+                        last = exc
+                if last is not None:
+                    self.health.transition(
+                        HealthState.READ_ONLY, self.clock.now,
+                        "reserved block %d unwritable" % bno)
+                    raise last
 
 
 class LogicalView:

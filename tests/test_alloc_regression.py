@@ -118,3 +118,31 @@ def test_budget_is_per_loop_not_per_block():
     assert small <= BUDGET_OBJECTS and large <= BUDGET_OBJECTS
     # No per-block term: twice the blocks, same (tiny) retention.
     assert abs(large - small) <= BUDGET_OBJECTS
+
+
+def test_span_names_are_interned_not_rebuilt():
+    """Reading ``span.name`` must not allocate a fresh string per read.
+
+    Span names draw from a small fixed (layer, op) vocabulary, so every
+    read of a given name must return the *same interned object* — and a
+    whole loop of name reads across many spans must retain nothing
+    beyond the one-time cache fill (warmed up before measuring).
+    """
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer()
+    layers_ops = [("vfs", "create"), ("cache", "flush"), ("disk", "read"),
+                  ("fs", "lookup")]
+    spans = [tracer.span(layer, op) for layer, op in layers_ops for _ in range(4)]
+
+    # Identity, not mere equality: one object per distinct (layer, op).
+    for i, span in enumerate(spans):
+        assert span.name is spans[(i // 4) * 4].name
+        assert span.name == "%s.%s" % (span.layer, span.op)
+
+    def hot_loop():
+        for _ in range(1024):
+            for span in spans:  # 16 x 1024 name reads
+                span.name
+
+    assert _retained_in_repro(hot_loop) <= BUDGET_OBJECTS

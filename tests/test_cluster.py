@@ -1,0 +1,402 @@
+"""The sharded cluster: router, facade, traffic model, crash safety.
+
+Four claims are pinned here:
+
+- **Placement determinism** — same seed and namespace tree give the
+  same assignment across runs, and a shard-count-preserving restart
+  rebuilds the identical table from the mounted roots.
+- **Facade fidelity** — the FileSystem surface behaves over N shards
+  as it does over one, with volume-boundary semantics (EXDEV-style
+  link refusal, file-only cross-shard rename) where it cannot.
+- **Traffic-model determinism and balance** — byte-identical reports
+  for identical seeds; the utilization-aware placer keeps per-shard
+  ops imbalance within bounds under Zipfian skew, and four shards
+  beat one by the margin the scale-out story promises.
+- **Crash safety** — the cross-shard rename protocol, killed at every
+  landed media write across *both* shards' interleaved streams,
+  always recovers to exactly one intact copy of the file.
+"""
+
+import json
+
+import pytest
+
+from repro.blockdev.device import BlockDevice
+from repro.cache.policy import MetadataPolicy
+from repro.cluster import (
+    Cluster,
+    HashRouter,
+    TrafficConfig,
+    UtilizationRouter,
+    cluster_summary,
+    encode_intent,
+    make_router,
+    parse_intent,
+    render_cluster,
+    run_cluster_traffic,
+    split_top,
+    validate_cluster_summary,
+)
+from repro.core.filesystem import CFFS, CFFSConfig
+from repro.errors import InvalidArgument
+from repro.faults.proxy import FaultyBlockDevice
+from repro.fsck import fsck_cffs
+from tests.conftest import TEST_PROFILE
+
+SMALL = dict(clients=48, ops_per_client=3, dirs=16, file_size=4096)
+
+
+def small_cluster(n_shards=2, **kwargs):
+    return Cluster(n_shards=n_shards, **kwargs)
+
+
+# -- router placement ------------------------------------------------------------
+
+
+class TestRouterPlacement:
+    def test_hash_router_is_a_pure_function_of_the_name(self):
+        names = ["d%03d" % i for i in range(200)]
+        a = HashRouter(4)
+        b = HashRouter(4)
+        assert [a.place(n) for n in names] == [b.place(n) for n in names]
+        # probe agrees with place even for names never placed
+        c = HashRouter(4)
+        assert [c.probe(n) for n in names] == [a.place(n) for n in names]
+
+    def test_hash_router_uses_every_shard(self):
+        router = HashRouter(4)
+        owners = {router.place("d%03d" % i) for i in range(200)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_util_router_spreads_new_names_evenly_without_load(self):
+        router = UtilizationRouter(4)
+        owners = [router.place("d%d" % i) for i in range(8)]
+        assert sorted(owners) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_util_router_steers_away_from_loaded_shards(self):
+        router = UtilizationRouter(2)
+        router.place("hot")           # -> shard 0
+        router.charge(0, ops=100)     # hot directory hammers shard 0
+        assert router.place("cold") == 1
+
+    def test_place_is_first_touch_sticky(self):
+        router = UtilizationRouter(2)
+        sid = router.place("a")
+        router.charge(sid, ops=50)
+        assert router.place("a") == sid   # load never moves an assignment
+
+    def test_adopt_rejects_out_of_range_shard(self):
+        router = make_router("hash", 2)
+        with pytest.raises(InvalidArgument):
+            router.adopt("x", 5)
+
+    def test_same_seed_same_tree_identical_assignment_across_runs(self):
+        # Satellite: placement determinism. Two full runs from the same
+        # seed must produce the same router table, for both policies.
+        for kind in ("hash", "util"):
+            a = run_cluster_traffic(TrafficConfig(
+                shards=4, router=kind, seed=7, **SMALL),
+                cluster=(c1 := small_cluster(4, router=kind)))
+            b = run_cluster_traffic(TrafficConfig(
+                shards=4, router=kind, seed=7, **SMALL),
+                cluster=(c2 := small_cluster(4, router=kind)))
+            assert c1.router.assignments == c2.router.assignments
+            assert render_cluster(a) == render_cluster(b)
+
+    def test_restart_rebuilds_identical_assignment_from_the_roots(self):
+        # Satellite: a shard-count-preserving restart re-derives the
+        # exact table by scanning the mounted shards' root directories.
+        for kind in ("hash", "util"):
+            cluster = small_cluster(4, router=kind)
+            run_cluster_traffic(TrafficConfig(
+                shards=4, router=kind, seed=7, **SMALL), cluster=cluster)
+            reborn = Cluster(
+                filesystems=[shard.fs for shard in cluster.shards],
+                router=kind)
+            rebuilt = reborn.rebuild_assignments()
+            assert rebuilt == cluster.router.assignments
+
+
+# -- intent codec ----------------------------------------------------------------
+
+
+class TestIntentCodec:
+    def test_roundtrip(self):
+        data = encode_intent(3, "/a/x", "/b/y")
+        assert parse_intent(data) == (3, "/a/x", "/b/y")
+
+    def test_torn_and_garbled_intents_parse_to_none(self):
+        data = encode_intent(0, "/a/x", "/b/y")
+        for cut in range(len(data)):
+            assert parse_intent(data[:cut]) is None
+        flipped = bytearray(data)
+        flipped[5] ^= 0xFF
+        assert parse_intent(bytes(flipped)) is None
+        assert parse_intent(b"") is None
+        assert parse_intent(b"\xff\xfe not utf8 \x80") is None
+
+
+# -- the facade ------------------------------------------------------------------
+
+
+class TestClusterFacade:
+    def test_basic_namespace_and_data_ops(self):
+        fs = small_cluster().fs
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        fs.write_file("/a/x", b"alpha" * 100)
+        fs.write_file("/b/y", b"beta")
+        assert fs.readdir("/") == ["a", "b"]
+        assert fs.read_file("/a/x") == b"alpha" * 100
+        assert fs.stat("/a/x").size == 500
+        assert fs.stat("/").is_dir
+        fs.unlink("/b/y")
+        assert not fs.exists("/b/y")
+        fs.rmdir("/b")
+        assert fs.readdir("/") == ["a"]
+
+    def test_shards_genuinely_partition_the_namespace(self):
+        cluster = small_cluster()
+        fs = cluster.fs
+        fs.mkdir("/a")
+        fs.mkdir("/b")   # util router: second dir lands on the other shard
+        fs.write_file("/a/x", b"data")
+        sid_a = cluster.router.assignments["a"]
+        sid_b = cluster.router.assignments["b"]
+        assert sid_a != sid_b
+        assert cluster.shards[sid_a].fs.exists("/a/x")
+        assert not cluster.shards[sid_b].fs.exists("/a/x")
+
+    def test_reserved_cluster_directory_is_unaddressable_and_hidden(self):
+        fs = small_cluster().fs
+        with pytest.raises(InvalidArgument):
+            fs.readdir("/.cluster")
+        with pytest.raises(InvalidArgument):
+            fs.write_file("/.cluster/evil", b"x")
+        with pytest.raises(InvalidArgument):
+            split_top("/.cluster/intent-000001")
+        assert fs.readdir("/") == []   # per-shard /.cluster never leaks
+
+    def test_relative_paths_and_root_targets_rejected(self):
+        with pytest.raises(InvalidArgument):
+            split_top("a/b")
+        with pytest.raises(InvalidArgument):
+            split_top("/")
+
+    def test_exists_probe_never_places_a_name(self):
+        cluster = small_cluster()
+        assert not cluster.fs.exists("/ghost/file")
+        assert "ghost" not in cluster.router.assignments
+
+    def test_fd_operations_route_to_the_owner(self):
+        fs = small_cluster().fs
+        fs.mkdir("/a")
+        fd = fs.open("/a/f", create=True)
+        assert fs.write(fd, b"hello world") == 11
+        fs.seek(fd, 6)
+        assert fs.read(fd, 5) == b"world"
+        fs.fsync(fd)
+        fs.close(fd)
+        with pytest.raises(InvalidArgument):
+            fs.read(fd, 1)   # closed facade fd is dead
+
+    def test_link_within_a_shard_works_across_shards_raises(self):
+        cluster = small_cluster()
+        fs = cluster.fs
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        fs.write_file("/a/x", b"x")
+        fs.link("/a/x", "/a/x2")
+        assert fs.stat("/a/x").nlink == 2
+        with pytest.raises(InvalidArgument):
+            fs.link("/a/x", "/b/x")   # EXDEV: links cannot span volumes
+
+
+class TestClusterRename:
+    def test_local_rename_stays_on_shard(self):
+        cluster = small_cluster()
+        fs = cluster.fs
+        fs.mkdir("/a")
+        fs.write_file("/a/x", b"payload")
+        fs.rename("/a/x", "/a/y")
+        assert fs.read_file("/a/y") == b"payload"
+        snap = cluster.metrics.snapshot()
+        assert snap["cluster.rename.local"] == 1
+        assert snap.get("cluster.rename.cross_shard", 0) == 0
+
+    def test_cross_shard_rename_moves_the_file_and_leaves_no_intent(self):
+        cluster = small_cluster()
+        fs = cluster.fs
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        payload = b"travelling" * 321
+        fs.write_file("/a/x", payload)
+        fs.rename("/a/x", "/b/x")
+        assert not fs.exists("/a/x")
+        assert fs.read_file("/b/x") == payload
+        assert cluster.metrics.snapshot()["cluster.rename.cross_shard"] == 1
+        assert cluster.recover() == []   # protocol completed: no intents
+
+    def test_cross_shard_rename_refuses_directories_and_busy_targets(self):
+        cluster = small_cluster()
+        fs = cluster.fs
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        with pytest.raises(InvalidArgument):
+            fs.rename("/a", "/b/a")   # whole-subtree moves don't cross volumes
+        fs.write_file("/a/x", b"x")
+        fs.write_file("/b/x", b"occupied")
+        with pytest.raises(InvalidArgument):
+            fs.rename("/a/x", "/b/x")
+
+
+# -- the traffic model -----------------------------------------------------------
+
+
+class TestClusterTraffic:
+    def test_reports_are_byte_identical_across_runs(self):
+        cfg = TrafficConfig(shards=4, seed=11, rename_fraction=0.1, **SMALL)
+        a = run_cluster_traffic(cfg)
+        b = run_cluster_traffic(cfg)
+        assert render_cluster(a) == render_cluster(b)
+        assert (json.dumps(cluster_summary(a), sort_keys=True)
+                == json.dumps(cluster_summary(b), sort_keys=True))
+
+    def test_concurrent_replay_exercises_cross_shard_renames(self):
+        result = run_cluster_traffic(TrafficConfig(
+            shards=4, seed=11, rename_fraction=0.2, **SMALL))
+        assert result.cross_shard_renames > 0
+        assert result.phase.n_ops == 48 * 3
+        assert result.phase.failed == 0
+
+    def test_per_shard_ops_sum_to_routed_ops(self):
+        result = run_cluster_traffic(TrafficConfig(shards=4, seed=3, **SMALL))
+        assert sum(s.ops for s in result.per_shard) == result.routes
+
+    def test_summary_schema_is_valid_and_validator_bites(self):
+        result = run_cluster_traffic(TrafficConfig(shards=2, seed=5, **SMALL))
+        doc = cluster_summary(result)
+        assert validate_cluster_summary(doc) == []
+        assert validate_cluster_summary({}) != []
+        bad = json.loads(json.dumps(doc))
+        bad["per_shard"].pop()
+        assert any("per_shard" in p for p in validate_cluster_summary(bad))
+        bad = json.loads(json.dumps(doc))
+        bad["schema"] = "repro-cluster/0"
+        assert any("schema" in p for p in validate_cluster_summary(bad))
+
+    def test_invalid_configs_are_rejected(self):
+        with pytest.raises(InvalidArgument):
+            run_cluster_traffic(TrafficConfig(clients=0))
+        with pytest.raises(InvalidArgument):
+            run_cluster_traffic(TrafficConfig(read_fraction=0.9,
+                                              rename_fraction=0.2))
+        with pytest.raises(InvalidArgument):
+            run_cluster_traffic(TrafficConfig(zipf_theta=-0.1))
+        with pytest.raises(InvalidArgument):
+            run_cluster_traffic(TrafficConfig(file_size=0))
+
+
+class TestClusterAcceptance:
+    """The issue's headline numbers, at the issue's scale (1000 clients)."""
+
+    def test_four_shards_beat_one_and_the_placer_balances(self):
+        multi = run_cluster_traffic(TrafficConfig())
+        single = run_cluster_traffic(TrafficConfig(shards=1))
+        speedup = multi.ops_per_second / single.ops_per_second
+        assert multi.phase.n_ops == 3000
+        assert speedup >= 2.5, "4-shard speedup %.2fx < 2.5x" % speedup
+        assert multi.imbalance <= 0.25, (
+            "per-shard ops imbalance %.1f%% > 25%%" % (multi.imbalance * 100))
+
+    def test_util_placer_beats_hash_under_zipf(self):
+        util = run_cluster_traffic(TrafficConfig())
+        hashed = run_cluster_traffic(TrafficConfig(router="hash"))
+        assert util.imbalance < hashed.imbalance
+
+
+# -- crash-point sweep over the cross-shard rename -------------------------------
+
+
+def _sharded_pair():
+    """Two CFFS shards on journaling fault proxies, under one cluster."""
+    filesystems = []
+    devices = []
+    for _ in range(2):
+        device = FaultyBlockDevice(BlockDevice(TEST_PROFILE),
+                                   record_journal=True)
+        config = CFFSConfig(blocks_per_cg=512, cache_blocks=512,
+                            policy=MetadataPolicy.SYNC_METADATA)
+        filesystems.append(CFFS.mkfs(device, config))
+        devices.append(device)
+    cluster = Cluster(filesystems=filesystems, router="util")
+    return cluster, devices
+
+
+class TestCrossShardRenameCrashSweep:
+    def test_every_media_write_boundary_recovers_to_exactly_one_copy(self):
+        cluster, devices = _sharded_pair()
+        fs = cluster.fs
+        payload = b"exactly-once" * 700   # spans multiple blocks
+        fs.mkdir("/src")
+        fs.write_file("/src/f", payload)
+        fs.mkdir("/dst")
+        fs.sync()
+        assert cluster.router.assignments["src"] != \
+            cluster.router.assignments["dst"]
+
+        # Record the *global* interleaved media-write order from here on.
+        base = [len(dev.journal) for dev in devices]
+        order = []
+        for sid, dev in enumerate(devices):
+            dev.on_media_write = (
+                lambda bno, data, sid=sid: order.append(sid))
+
+        fs.rename("/src/f", "/dst/f")
+        fs.sync()
+        for dev in devices:
+            dev.on_media_write = None
+        assert len(order) > 0
+
+        outcomes = set()
+        for k in range(len(order) + 1):
+            prefix = order[:k]
+            images = [dev.image_at(base[sid] + prefix.count(sid))
+                      for sid, dev in enumerate(devices)]
+            mounted = []
+            for image in images:
+                fsck_cffs(image, repair=True)
+                report = fsck_cffs(image)
+                assert report.pristine, (
+                    "crash point %d unrepairable: %s"
+                    % (k, "; ".join(report.errors + report.repairs)))
+                mounted.append(CFFS.mount(image))
+            recovered = Cluster(filesystems=mounted, router="util")
+            for _, action in recovered.recover():
+                outcomes.add(action)
+            src_has = mounted[0].exists("/src/f")
+            dst_has = mounted[1].exists("/dst/f")
+            assert src_has != dst_has, (
+                "crash point %d/%d: file on %s"
+                % (k, len(order),
+                   "both shards" if src_has else "neither shard"))
+            survivor = mounted[0] if src_has else mounted[1]
+            path = "/src/f" if src_has else "/dst/f"
+            assert survivor.read_file(path) == payload, (
+                "crash point %d: surviving copy corrupt" % k)
+            # Recovery leaves no intent behind on either shard.
+            assert recovered.recover() == []
+        # The sweep crossed the commit point: both directions happened.
+        assert "rolled_back" in outcomes
+        assert "rolled_forward" in outcomes
+
+    def test_recovery_discards_garbled_intents_without_touching_files(self):
+        cluster, _ = _sharded_pair()
+        fs = cluster.fs
+        fs.mkdir("/src")
+        fs.write_file("/src/f", b"safe")
+        shard = cluster.shards[cluster.router.assignments["src"]]
+        shard.fs.write_file("/.cluster/intent-000042", b"not an intent")
+        outcomes = cluster.recover()
+        assert outcomes == [(-1, "discarded")]
+        assert fs.read_file("/src/f") == b"safe"
