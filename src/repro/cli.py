@@ -413,6 +413,31 @@ def cmd_multiclient(args) -> int:
     return 0
 
 
+def _cluster_traffic_config(args):
+    """Shared TrafficConfig assembly for cluster and cluster-chaos."""
+    from repro.cluster import TrafficConfig, parse_fault_spec
+
+    faults = None
+    if getattr(args, "faults", None):
+        faults = parse_fault_spec(args.faults, args.shards)
+    return TrafficConfig(
+        shards=args.shards,
+        clients=args.clients,
+        ops_per_client=args.ops,
+        dirs=args.dirs,
+        zipf_theta=args.zipf,
+        read_fraction=args.read_mix,
+        rename_fraction=args.rename_mix,
+        file_size=args.size,
+        label=args.fs,
+        policy=policy_from_args(args),
+        scheduler=args.scheduler,
+        router=args.router,
+        seed=args.seed,
+        faults=faults,
+    )
+
+
 def cmd_cluster(args) -> int:
     import json as _json
 
@@ -433,26 +458,12 @@ def cmd_cluster(args) -> int:
         print("unknown router %r; known: %s"
               % (args.router, ", ".join(ROUTER_KINDS)), file=sys.stderr)
         return 2
-    cfg = TrafficConfig(
-        shards=args.shards,
-        clients=args.clients,
-        ops_per_client=args.ops,
-        dirs=args.dirs,
-        zipf_theta=args.zipf,
-        read_fraction=args.read_mix,
-        rename_fraction=args.rename_mix,
-        file_size=args.size,
-        label=args.fs,
-        policy=policy_from_args(args),
-        scheduler=args.scheduler,
-        router=args.router,
-        seed=args.seed,
-    )
+    cfg = _cluster_traffic_config(args)
     result = run_cluster_traffic(cfg)
     print(render_cluster(result))
     if args.baseline:
         single = run_cluster_traffic(
-            TrafficConfig(**{**vars(cfg), "shards": 1}))
+            TrafficConfig(**{**vars(cfg), "shards": 1, "faults": None}))
         print()
         print("1-shard baseline: %.1f ops/s  ->  %d-shard speedup %.2fx"
               % (single.ops_per_second, cfg.shards,
@@ -465,6 +476,47 @@ def cmd_cluster(args) -> int:
         # identically-seeded runs regardless of the summary's filename.
         print("summary -> %s" % args.json, file=sys.stderr)
     return 0
+
+
+def cmd_cluster_chaos(args) -> int:
+    import json as _json
+
+    from repro.cluster import (
+        ROUTER_KINDS,
+        ChaosConfig,
+        chaos_summary,
+        render_chaos,
+        run_cluster_chaos,
+    )
+    from repro.engine import SCHEDULERS
+
+    if args.scheduler not in SCHEDULERS:
+        print("unknown scheduler %r; known: %s"
+              % (args.scheduler, ", ".join(SCHEDULERS)), file=sys.stderr)
+        return 2
+    if args.router not in ROUTER_KINDS:
+        print("unknown router %r; known: %s"
+              % (args.router, ", ".join(ROUTER_KINDS)), file=sys.stderr)
+        return 2
+    traffic = _cluster_traffic_config(args)
+    cfg = ChaosConfig(
+        traffic=traffic,
+        fail_shard=args.fail_shard,
+        fail_op=args.fail_op,
+        warm_fraction=args.warm_fraction,
+        availability_floor=args.floor,
+        extra_faults=traffic.faults,
+    )
+    result = run_cluster_chaos(cfg)
+    print(render_chaos(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(chaos_summary(result), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        # stderr: the stdout report must stay byte-identical across
+        # identically-seeded runs regardless of the summary's filename.
+        print("summary -> %s" % args.json, file=sys.stderr)
+    return 0 if result.verdict() == "PASS" else 1
 
 
 def cmd_trace(args) -> int:
@@ -716,11 +768,57 @@ def build_parser() -> argparse.ArgumentParser:
                         "utilization-aware least-loaded")
     p.add_argument("--seed", type=int, default=1997)
     add_policy_argument(p)
+    p.add_argument("--faults", metavar="SPEC",
+                   help="per-shard fault schedules, e.g. "
+                        "'1:write_fail_from=0;2:transient_rate=0.05'")
     p.add_argument("--baseline", action="store_true",
                    help="also run the same load on 1 shard and report speedup")
     p.add_argument("--json", metavar="PATH",
                    help="write the machine-readable summary here")
     p.set_defaults(func=cmd_cluster)
+
+    p = sub.add_parser(
+        "cluster-chaos",
+        help="kill one shard mid-traffic and assert the cluster's "
+             "fault-tolerance contract")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--clients", type=int, default=400,
+                   help="concurrent simulated clients (default 400)")
+    p.add_argument("--ops", type=int, default=3,
+                   help="operations per client")
+    p.add_argument("--dirs", type=int, default=48,
+                   help="top-level directories the load targets")
+    p.add_argument("--zipf", type=float, default=0.9,
+                   help="Zipf theta for directory popularity")
+    p.add_argument("--read-mix", type=float, default=0.55,
+                   help="fraction of ops that are reads")
+    p.add_argument("--rename-mix", type=float, default=0.02,
+                   help="fraction of ops that are renames (may cross shards)")
+    p.add_argument("--size", type=int, default=16384,
+                   help="file size written by write ops")
+    p.add_argument("--fs", default="cffs",
+                   help="ffs, conventional, embedded, grouping or cffs")
+    p.add_argument("--scheduler", default="clook",
+                   help="per-shard queue discipline: fcfs, sstf or clook")
+    p.add_argument("--router", choices=("hash", "util"), default="util",
+                   help="placement policy: consistent hashing or "
+                        "utilization-aware least-loaded")
+    p.add_argument("--seed", type=int, default=1997)
+    add_policy_argument(p)
+    p.add_argument("--fail-shard", type=int, default=1,
+                   help="the victim shard (armed between warm and storm)")
+    p.add_argument("--fail-op", choices=("write", "read"), default="write",
+                   help="which path breaks on the victim")
+    p.add_argument("--warm-fraction", type=float, default=0.4,
+                   help="fraction of clients that run before the fault")
+    p.add_argument("--floor", type=float, default=0.95,
+                   help="required availability on surviving shards")
+    p.add_argument("--faults", metavar="SPEC",
+                   help="additional per-shard fault schedules, e.g. "
+                        "'2:transient_rate=0.05'")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the machine-readable summary here")
+    p.set_defaults(func=cmd_cluster_chaos)
 
     p = sub.add_parser(
         "lint",

@@ -9,10 +9,38 @@ places top-level directory subtrees on shards
 protocol (:mod:`~repro.cluster.intent`), a FileSystem-shaped facade so
 existing workloads run unmodified (:mod:`~repro.cluster.facade`), and a
 Zipfian many-client traffic model (:mod:`~repro.cluster.traffic`).
+
+Fault tolerance (PR 10) lives in three more modules: per-shard health
+classification (:mod:`~repro.cluster.health`), crash-safe shard
+evacuation (:mod:`~repro.cluster.evacuate`), and the cluster-wide
+chaos harness (:mod:`~repro.cluster.chaos`).
 """
 
+from repro.cluster.chaos import (
+    CHAOS_SCHEMA,
+    ChaosConfig,
+    ChaosResult,
+    chaos_summary,
+    parse_fault_spec,
+    render_chaos,
+    run_cluster_chaos,
+    validate_chaos_summary,
+)
 from repro.cluster.core import Cluster, ClusterClient, ClusterOp, Leg, Shard
+from repro.cluster.evacuate import (
+    EvacuatedTop,
+    adopted_tops,
+    evacuate_shard,
+    evacuate_top,
+    recover_shard_evacs,
+)
 from repro.cluster.facade import ClusterFS, split_top
+from repro.cluster.health import (
+    ClusterHealth,
+    ClusterRetryPolicy,
+    HealthState,
+    ShardHealthPolicy,
+)
 from repro.cluster.intent import (
     CLUSTER_DIR,
     encode_intent,
@@ -43,33 +71,50 @@ from repro.cluster.traffic import (
 )
 
 __all__ = [
+    "CHAOS_SCHEMA",
     "CLUSTER_DIR",
     "CLUSTER_SCHEMA",
+    "ChaosConfig",
+    "ChaosResult",
     "Cluster",
     "ClusterClient",
     "ClusterFS",
+    "ClusterHealth",
     "ClusterOp",
+    "ClusterRetryPolicy",
     "ClusterTrafficResult",
     "DEFAULT_VNODES",
+    "EvacuatedTop",
     "HashRouter",
+    "HealthState",
     "Leg",
     "ROUTER_KINDS",
     "ROUTE_CPU_SECONDS",
     "Router",
     "Shard",
     "ShardBalance",
+    "ShardHealthPolicy",
     "TrafficConfig",
     "UtilizationRouter",
     "ZipfSampler",
+    "adopted_tops",
+    "chaos_summary",
     "cluster_summary",
     "encode_intent",
+    "evacuate_shard",
+    "evacuate_top",
     "intent_path",
     "make_router",
+    "parse_fault_spec",
     "parse_intent",
     "pending_intents",
+    "recover_shard_evacs",
     "recover_shard_intents",
+    "render_chaos",
     "render_cluster",
+    "run_cluster_chaos",
     "run_cluster_traffic",
     "split_top",
+    "validate_chaos_summary",
     "validate_cluster_summary",
 ]

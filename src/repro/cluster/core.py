@@ -35,6 +35,19 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.blockdev.device import BlockDevice
 from repro.cache.policy import MetadataPolicy
+from repro.cluster.evacuate import (
+    EvacuatedTop,
+    adopted_tops,
+    evacuate_shard,
+    evacuate_top,
+    recover_shard_evacs,
+)
+from repro.cluster.health import (
+    ClusterHealth,
+    ClusterRetryPolicy,
+    HealthState,
+    ShardHealthPolicy,
+)
 from repro.cluster.intent import (
     CLUSTER_DIR,
     durable_unlink,
@@ -49,7 +62,9 @@ from repro.disk.profiles import SEAGATE_ST31200, DriveProfile
 from repro.engine.client import Engine, OpRecord
 from repro.engine.eventloop import EventLoop
 from repro.engine.multiclient import resolve_label
-from repro.errors import InvalidArgument
+from repro.errors import InvalidArgument, ReproError
+from repro.faults.proxy import FaultyBlockDevice
+from repro.faults.schedule import FaultSchedule
 from repro.obs.metrics import MetricsRegistry
 from repro.resilience.device import ResilientBlockDevice
 from repro.workloads.configs import build_filesystem, config_for
@@ -95,13 +110,24 @@ class ClusterClient:
     would swamp the registry snapshot.
     """
 
-    __slots__ = ("cluster", "cid", "name", "records", "finished_at")
+    __slots__ = ("cluster", "cid", "name", "records", "leg_shards",
+                 "finished_at")
+
+    #: Op labels whose resolvers are safe to re-run after a failed
+    #: replay: reads are pure, and writes re-issue the same payload to
+    #: the same path (data effects landed at capture, so a re-capture
+    #: is idempotent).  Renames are multi-leg state machines with their
+    #: own crash-safety protocol and are never retried here.
+    RETRYABLE_LABELS = frozenset({"read", "write"})
 
     def __init__(self, cluster: "Cluster", cid: int, name: str) -> None:
         self.cluster = cluster
         self.cid = cid
         self.name = name
         self.records: List[OpRecord] = []
+        #: Per completed op (parallel to ``records``): the shard ids
+        #: its legs touched — the chaos report's availability split.
+        self.leg_shards: List[Tuple[int, ...]] = []
         self.finished_at: Optional[float] = None
 
     def latencies(self, phase: Optional[str] = None) -> List[float]:
@@ -109,44 +135,88 @@ class ClusterClient:
                 if phase is None or r.phase == phase]
 
     def _run_ops(self, ops: Sequence[ClusterOp], phase: str):
-        """Generator yielding ("cpu", s) / ("io", (shard, request))."""
+        """Generator yielding ("cpu", s) / ("io", (shard, request)).
+
+        A failed op (hard fault surfacing from a shard's disk queue)
+        is retried with deterministic exponential backoff when its
+        resolver is re-runnable — bounded by the cluster retry policy's
+        attempt budget and per-op simulated-time timeout.  Every error
+        is classified into the per-shard health state first, so routing
+        reacts while the phase is still running.
+        """
         cluster = self.cluster
         loop = cluster.loop
-        for label, legs in ops:
+        policy = cluster.retry
+        for label, spec in ops:
             start = loop.now
-            if callable(legs):
-                legs = legs()
-            route_cpu = cluster._take_route_cpu()
-            nreq = 0
-            qdelay = 0.0
-            retries = 0
-            cpu = route_cpu
-            error: Optional[str] = None
-            if route_cpu > 0:
-                yield ("cpu", route_cpu)
-            for shard, fn in legs:
-                cap = shard.engine.capture(fn)
-                cpu += cap.cpu_total
-                for step in cap.requests:
-                    if step.cpu_before > 0:
-                        yield ("cpu", step.cpu_before)
-                    done = yield ("io", (shard, step))
-                    nreq += 1
-                    qdelay += done.queue_delay
-                    retries += done.retries
-                    if done.error is not None:
-                        error = done.error
+            attempts = 0
+            retryable = callable(spec) and label in self.RETRYABLE_LABELS
+            while True:
+                error: Optional[str] = None
+                try:
+                    legs = spec() if callable(spec) else spec
+                except ReproError as exc:
+                    # Routing refused (e.g. no shard can accept a new
+                    # placement): the op fails without issuing a leg,
+                    # and retrying cannot help — health only worsens
+                    # within a phase.
+                    legs = []
+                    retryable = False
+                    error = "route: %s: %s" % (type(exc).__name__, exc)
+                route_cpu = cluster._take_route_cpu()
+                nreq = 0
+                qdelay = 0.0
+                retries = 0
+                cpu = route_cpu
+                touched: List[int] = []
+                if route_cpu > 0:
+                    yield ("cpu", route_cpu)
+                for shard, fn in legs:
+                    touched.append(shard.sid)
+                    try:
+                        cap = shard.engine.capture(fn)
+                    except ReproError as exc:
+                        cluster.health.observe_exception(
+                            shard.sid, exc, op="write")
+                        error = "%s: %s: %s" % (
+                            shard.name, type(exc).__name__, exc)
                         break
-                if error is not None:
+                    cpu += cap.cpu_total
+                    for step in cap.requests:
+                        if step.cpu_before > 0:
+                            yield ("cpu", step.cpu_before)
+                        done = yield ("io", (shard, step))
+                        nreq += 1
+                        qdelay += done.queue_delay
+                        retries += done.retries
+                        if done.error is not None:
+                            cluster.health.observe_error(
+                                shard.sid, done.error, op=step.op)
+                            error = "%s: %s" % (shard.name, done.error)
+                            break
+                    if error is not None:
+                        break
+                    if cap.trailing_cpu > 0:
+                        yield ("cpu", cap.trailing_cpu)
+                if error is None or not retryable:
                     break
-                if cap.trailing_cpu > 0:
-                    yield ("cpu", cap.trailing_cpu)
+                attempts += 1
+                delay = policy.delay(attempts - 1)
+                if attempts >= policy.max_attempts or \
+                        loop.now - start + delay > policy.op_timeout:
+                    cluster.metrics.counter("cluster.retry.exhausted").inc()
+                    break
+                cluster.metrics.counter("cluster.retry.attempts").inc()
+                yield ("cpu", delay)
+            if attempts > 0 and error is None:
+                cluster.metrics.counter("cluster.retry.absorbed").inc()
             self.records.append(OpRecord(
                 phase=phase, label=label, client=self.cid,
                 start=start, end=loop.now,
                 n_requests=nreq, queue_delay=qdelay,
                 cpu_seconds=cpu, retries=retries, error=error,
             ))
+            self.leg_shards.append(tuple(touched))
 
 
 class Cluster:
@@ -163,6 +233,9 @@ class Cluster:
         resilient: bool = False,
         filesystems: Optional[Sequence] = None,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[Dict[int, FaultSchedule]] = None,
+        health_policy: Optional[ShardHealthPolicy] = None,
+        retry: Optional[ClusterRetryPolicy] = None,
     ) -> None:
         self.loop = EventLoop()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -171,10 +244,12 @@ class Cluster:
         self.scheduler = scheduler
         self.label = label
         self.policy = policy
+        self.retry = retry if retry is not None else ClusterRetryPolicy()
         self.shards: List[Shard] = []
         self.clients: List[ClusterClient] = []
         self._intent_seq = 0
         self._pending_route_cpu = 0.0
+        faults = faults or {}
         if filesystems is not None:
             for sid, fs in enumerate(filesystems):
                 self.shards.append(Shard(sid, fs, self._make_engine(fs)))
@@ -184,7 +259,17 @@ class Cluster:
                     "need at least one shard, got %d" % n_shards)
             for sid in range(n_shards):
                 fs = self._build_shard_fs(label, policy, profile, resilient)
+                if sid in faults:
+                    # Wrap the shard's device in the fault-injecting
+                    # proxy; lock-step faults fire in the proxy, replay
+                    # faults in the shard's disk queue (same schedule).
+                    fs.cache.device = FaultyBlockDevice(
+                        fs.cache.device, faults[sid])
                 self.shards.append(Shard(sid, fs, self._make_engine(fs)))
+        self.health = ClusterHealth(len(self.shards), self.metrics,
+                                    lambda: self.loop.now,
+                                    policy=health_policy)
+        self.router.set_health(self.health.ordinal)
         for shard in self.shards:
             if not shard.fs.exists(CLUSTER_DIR):
                 shard.fs.mkdir(CLUSTER_DIR)
@@ -204,8 +289,12 @@ class Cluster:
         return CFFS.mkfs(device, config_for(resolve_label(label), policy))
 
     def _make_engine(self, fs) -> Optional[Engine]:
-        if not isinstance(fs.cache.device, BlockDevice):
+        device = fs.cache.device
+        if not isinstance(device, (BlockDevice, FaultyBlockDevice)):
             return None   # resilient/wrapped devices: lock-step only
+        # Engine picks the fault schedule and drive retry policy off a
+        # FaultyBlockDevice itself, so replayed requests consult the
+        # same schedule the lock-step path does.
         return Engine(fs, scheduler=self.scheduler, loop=self.loop,
                       metrics=self.metrics)
 
@@ -255,21 +344,83 @@ class Cluster:
         top-level directory lives on exactly one shard, so scanning the
         roots after a restart reproduces the assignment exactly (the
         placement-determinism tests pin this).
+
+        Evacuation complicates this: a READ_ONLY source could never
+        unlink its copy of a moved subtree, so after a restart *two*
+        shards may list the same top.  The destination's durable adopt
+        record breaks the tie — the adopter wins, the stale source
+        listing is skipped (and cleared later by recovery once the
+        source accepts writes again).
         """
+        adopters: Dict[str, int] = {}
+        for shard in self.shards:
+            for top in adopted_tops(shard.fs):
+                adopters[top] = shard.sid
         for shard in self.shards:
             for name in sorted(shard.fs.readdir("/")):
                 if name == CLUSTER_DIR.strip("/"):
                     continue
+                if name in adopters and adopters[name] != shard.sid:
+                    continue   # stale source copy; the adopter owns it
                 self.router.adopt(name, shard.sid)
+        for top, sid in sorted(adopters.items()):
+            self.router.adopt(top, sid)
         return dict(self.router.assignments)
 
     def recover(self) -> List[Tuple[int, str]]:
-        """Apply cross-shard rename intent recovery on every shard."""
+        """Apply intent recovery (renames, then evacuations) per shard."""
         filesystems = {shard.sid: shard.fs for shard in self.shards}
         outcomes: List[Tuple[int, str]] = []
         for shard in self.shards:
             outcomes.extend(recover_shard_intents(shard.sid, filesystems))
+        for shard in self.shards:
+            outcomes.extend(recover_shard_evacs(shard.sid, filesystems))
         return outcomes
+
+    # -- health and evacuation -------------------------------------------------
+
+    def backoff(self, seconds: float) -> None:
+        """Advance cluster time by a lock-step retry backoff delay."""
+        if self.loop.pending:
+            raise InvalidArgument(
+                "cannot back off with events pending")
+        self.loop.clock.advance(seconds)
+
+    def redirect(self, top: str) -> Optional[Shard]:
+        """Move ``top`` off its sick owner so a blocked write proceeds.
+
+        A READ_ONLY owner can still be read, so its subtree is
+        evacuated to a health-picked spare on the spot and the new
+        owner returned.  A FAILED owner has nothing to copy from:
+        return ``None`` and let the caller surface the error.  An
+        owner whose subtree never materialized (the failure struck
+        before first mkdir) is simply reassigned.
+        """
+        sid = self.router.assignments.get(top)
+        if sid is None:
+            return None
+        if not self.health.readable(sid):
+            return None
+        dst_sid = self.router.pick_spare(top, exclude=(sid,))
+        src, dst = self.shards[sid], self.shards[dst_sid]
+        if src.fs.exists("/" + top):
+            evacuate_top(self, top, src, dst)
+        else:
+            self.router.reassign(top, dst_sid)
+        self.metrics.counter("cluster.retry.redirects").inc()
+        return dst
+
+    def evacuate(self, sid: int) -> List[EvacuatedTop]:
+        """Drain every subtree off shard ``sid`` and retire it."""
+        return evacuate_shard(self, sid)
+
+    def evacuate_unhealthy(self) -> List[EvacuatedTop]:
+        """Evacuate every READ_ONLY shard (FAILED ones cannot be read)."""
+        reports: List[EvacuatedTop] = []
+        for shard in self.shards:
+            if self.health.state(shard.sid) is HealthState.READ_ONLY:
+                reports.extend(evacuate_shard(self, shard.sid))
+        return reports
 
     # -- lock-step sections ----------------------------------------------------
 

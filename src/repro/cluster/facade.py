@@ -19,6 +19,17 @@ do:
 The reserved per-shard ``/.cluster`` directory (intent files) is
 invisible here: it never appears in root listings and cannot be
 addressed through the facade.
+
+Fault tolerance (PR 10): every shard call runs under the cluster's
+:class:`~repro.cluster.health.ClusterRetryPolicy` — transient and hard
+media errors are retried with deterministic exponential backoff on
+cluster time, every failure is classified into the per-shard health
+state, and a write refused by a READ_ONLY (or newly FAILED) owner is
+*redirected*: the subtree is evacuated to a health-picked spare on the
+spot and the write retried there (see :meth:`Cluster.redirect`).
+Errors that escape carry shard context — the message gains an ``s<k>:``
+prefix and the exception grows a ``shard`` attribute — so a caller can
+tell *which* shard of the cluster failed.
 """
 
 from __future__ import annotations
@@ -26,10 +37,29 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.cluster.intent import CLUSTER_DIR
-from repro.errors import FileNotFound, InvalidArgument
+from repro.errors import (
+    DeviceDegraded,
+    FileNotFound,
+    InvalidArgument,
+    MediaReadError,
+    MediaWriteError,
+    PowerLoss,
+    ReadOnlyFileSystem,
+    ReproError,
+    TransientDiskError,
+)
 from repro.vfs import FileKind
 
 _RESERVED_TOP = CLUSTER_DIR.strip("/")
+
+#: Errors worth retrying in place: the same shard may well serve the
+#: same call a moment later (recoverable faults, partial hard faults
+#: the drive's own retry budget did not absorb).
+_RETRYABLE = (MediaReadError, MediaWriteError, TransientDiskError)
+
+#: Errors that say the *shard* (not the call) is the problem: retrying
+#: in place is pointless; a write may be redirected instead.
+_SHARD_DOWN = (DeviceDegraded, PowerLoss, ReadOnlyFileSystem)
 
 
 def split_top(path: str) -> Tuple[str, str]:
@@ -60,9 +90,92 @@ class ClusterFS:
         top, _ = split_top(path)
         return self._cluster.route(top)
 
-    def _call(self, path: str, fn):
+    @staticmethod
+    def _annotate(shard, exc: ReproError) -> None:
+        """Attach shard context to ``exc`` and re-raise it."""
+        if getattr(exc, "shard", None) is None:
+            exc.shard = shard.sid
+            exc.args = ("%s: %s" % (shard.name, exc),)
+        raise exc
+
+    def _shard_call(self, shard, fn, op: str = "read"):
+        """Run ``fn`` on ``shard`` under the cluster retry policy.
+
+        Retryable faults back the clock off deterministically and try
+        again (bounded by attempts and per-op simulated-time timeout);
+        every fault is classified into the shard's health state first.
+        Whatever escapes carries the shard's name in its message.
+        """
+        cluster = self._cluster
+        if op == "write" and not cluster.health.writable(shard.sid):
+            # Enforce the advisory health state on the write path: a
+            # demoted shard must not keep absorbing writes into a
+            # cache that can never flush.  _routed_mutate turns this
+            # into a redirect; descriptor-pinned writes surface it.
+            self._annotate(shard, ReadOnlyFileSystem(
+                "shard refuses writes (health %s)"
+                % cluster.health.state(shard.sid).name))
+        policy = cluster.retry
+        start = cluster.now
+        attempts = 0
+        while True:
+            try:
+                result = cluster.lockstep(shard, fn)
+            except _RETRYABLE as exc:
+                cluster.health.observe_exception(shard.sid, exc, op=op)
+                attempts += 1
+                delay = policy.delay(attempts - 1)
+                if attempts >= policy.max_attempts or \
+                        cluster.now - start + delay > policy.op_timeout:
+                    cluster.metrics.counter("cluster.retry.exhausted").inc()
+                    self._annotate(shard, exc)
+                cluster.metrics.counter("cluster.retry.attempts").inc()
+                cluster.backoff(delay)
+            except _SHARD_DOWN as exc:
+                cluster.health.observe_exception(shard.sid, exc, op=op)
+                self._annotate(shard, exc)
+            except ReproError as exc:
+                # Plain file-system errors (ENOENT and friends) are not
+                # health signals, but they still name their shard.
+                self._annotate(shard, exc)
+            else:
+                if attempts > 0:
+                    cluster.metrics.counter("cluster.retry.absorbed").inc()
+                return result
+
+    def _routed_mutate(self, top: str, fn):
+        """(shard, result) of a write-path call with health redirect.
+
+        Two roads lead to the redirect: the owner refuses outright
+        (READ_ONLY/FAILED classes), or hard media faults burn the whole
+        retry budget *and* demote the owner below writable along the
+        way.  Either way the subtree is evacuated to a spare on the
+        spot and the write retried there, exactly once.
+        """
+        cluster = self._cluster
+        shard = cluster.route(top)
+        try:
+            return shard, self._shard_call(shard, fn, op="write")
+        except _SHARD_DOWN:
+            dst = cluster.redirect(top)
+            if dst is None:
+                raise
+            return dst, self._shard_call(dst, fn, op="write")
+        except _RETRYABLE:
+            if cluster.health.writable(shard.sid):
+                raise
+            dst = cluster.redirect(top)
+            if dst is None:
+                raise
+            return dst, self._shard_call(dst, fn, op="write")
+
+    def _call(self, path: str, fn, op: str = "read"):
         shard = self._owner(path)
-        return self._cluster.lockstep(shard, fn)
+        return self._shard_call(shard, fn, op=op)
+
+    def _mutate(self, path: str, fn):
+        top, _ = split_top(path)
+        return self._routed_mutate(top, fn)[1]
 
     def _shard_fd(self, fd: int) -> Tuple[object, int]:
         entry = self._fds.get(fd)
@@ -73,16 +186,16 @@ class ClusterFS:
     # -- namespace operations --------------------------------------------------
 
     def create(self, path: str) -> None:
-        self._call(path, lambda f: f.create(path))
+        self._mutate(path, lambda f: f.create(path))
 
     def mkdir(self, path: str) -> None:
-        self._call(path, lambda f: f.mkdir(path))
+        self._mutate(path, lambda f: f.mkdir(path))
 
     def unlink(self, path: str) -> None:
-        self._call(path, lambda f: f.unlink(path))
+        self._mutate(path, lambda f: f.unlink(path))
 
     def rmdir(self, path: str) -> None:
-        self._call(path, lambda f: f.rmdir(path))
+        self._mutate(path, lambda f: f.rmdir(path))
 
     def link(self, existing: str, new: str) -> None:
         src = self._owner(existing)
@@ -91,7 +204,7 @@ class ClusterFS:
             raise InvalidArgument(
                 "hard link across shards (%s -> %s): links cannot span "
                 "volumes" % (src.name, dst.name))
-        self._cluster.lockstep(src, lambda f: f.link(existing, new))
+        self._shard_call(src, lambda f: f.link(existing, new), op="write")
 
     def rename(self, old: str, new: str) -> None:
         cluster = self._cluster
@@ -99,24 +212,34 @@ class ClusterFS:
         dst = self._owner(new)
         if src is dst:
             cluster.metrics.counter("cluster.rename.local").inc()
-            cluster.lockstep(src, lambda f: f.rename(old, new))
+            self._shard_call(src, lambda f: f.rename(old, new), op="write")
             return
-        kind = cluster.lockstep(src, lambda f: f.stat(old)).kind
+        kind = self._shard_call(src, lambda f: f.stat(old)).kind
         if kind is not FileKind.FILE:
             raise InvalidArgument(
                 "cross-shard rename supports regular files only: %r is a %s"
                 % (old, kind.name.lower()))
-        if cluster.lockstep(dst, lambda f: f.exists(new)):
+        if self._shard_call(dst, lambda f: f.exists(new)):
             raise InvalidArgument(
                 "cross-shard rename target %r already exists" % new)
-        for shard, fn in cluster.rename_legs(src, old, dst, new):
-            cluster.lockstep(shard, fn)
+        legs = cluster.rename_legs(src, old, dst, new)
+        # First leg reads the source; the rest write.  No redirect: the
+        # rename protocol carries its own crash-safety story, and a
+        # mid-protocol failure recovers via the intent record.
+        for index, (shard, fn) in enumerate(legs):
+            self._shard_call(shard, fn,
+                             op="read" if index == 0 else "write")
 
     # -- file-descriptor operations --------------------------------------------
 
     def open(self, path: str, create: bool = False) -> int:
-        shard = self._owner(path)
-        inner = self._cluster.lockstep(shard, lambda f: f.open(path, create))
+        top, _ = split_top(path)
+        if create:
+            shard, inner = self._routed_mutate(
+                top, lambda f: f.open(path, create))
+        else:
+            shard = self._cluster.route(top)
+            inner = self._shard_call(shard, lambda f: f.open(path, create))
         fd = self._next_fd
         self._next_fd += 1
         self._fds[fd] = (shard, inner)
@@ -124,23 +247,26 @@ class ClusterFS:
 
     def close(self, fd: int) -> None:
         shard, inner = self._shard_fd(fd)
-        self._cluster.lockstep(shard, lambda f: f.close(inner))
+        self._shard_call(shard, lambda f: f.close(inner))
         del self._fds[fd]
 
     def read(self, fd: int, size: int) -> bytes:
         shard, inner = self._shard_fd(fd)
-        data = self._cluster.lockstep(shard, lambda f: f.read(inner, size))
+        data = self._shard_call(shard, lambda f: f.read(inner, size))
         self._cluster.account(shard, bytes_read=len(data))
         return data
 
     def write(self, fd: int, data: bytes) -> int:
+        # Descriptor writes are pinned to their shard (the open file
+        # lives there): retry yes, redirect no.
         shard, inner = self._shard_fd(fd)
         self._cluster.account(shard, bytes_written=len(data))
-        return self._cluster.lockstep(shard, lambda f: f.write(inner, data))
+        return self._shard_call(
+            shard, lambda f: f.write(inner, data), op="write")
 
     def pread(self, fd: int, offset: int, size: int) -> bytes:
         shard, inner = self._shard_fd(fd)
-        data = self._cluster.lockstep(
+        data = self._shard_call(
             shard, lambda f: f.pread(inner, offset, size))
         self._cluster.account(shard, bytes_read=len(data))
         return data
@@ -148,32 +274,34 @@ class ClusterFS:
     def pwrite(self, fd: int, offset: int, data: bytes) -> int:
         shard, inner = self._shard_fd(fd)
         self._cluster.account(shard, bytes_written=len(data))
-        return self._cluster.lockstep(
-            shard, lambda f: f.pwrite(inner, offset, data))
+        return self._shard_call(
+            shard, lambda f: f.pwrite(inner, offset, data), op="write")
 
     def seek(self, fd: int, offset: int) -> None:
         shard, inner = self._shard_fd(fd)
-        self._cluster.lockstep(shard, lambda f: f.seek(inner, offset))
+        self._shard_call(shard, lambda f: f.seek(inner, offset))
 
     def fsync(self, fd: int) -> int:
         shard, inner = self._shard_fd(fd)
-        return self._cluster.lockstep(shard, lambda f: f.fsync(inner))
+        return self._shard_call(
+            shard, lambda f: f.fsync(inner), op="write")
 
     # -- whole-file helpers ----------------------------------------------------
 
     def write_file(self, path: str, data: bytes) -> None:
-        shard = self._owner(path)
+        top, _ = split_top(path)
+        shard, _result = self._routed_mutate(
+            top, lambda f: f.write_file(path, data))
         self._cluster.account(shard, bytes_written=len(data))
-        self._cluster.lockstep(shard, lambda f: f.write_file(path, data))
 
     def read_file(self, path: str) -> bytes:
         shard = self._owner(path)
-        data = self._cluster.lockstep(shard, lambda f: f.read_file(path))
+        data = self._shard_call(shard, lambda f: f.read_file(path))
         self._cluster.account(shard, bytes_read=len(data))
         return data
 
     def truncate(self, path: str, size: int = 0) -> None:
-        self._call(path, lambda f: f.truncate(path, size))
+        self._mutate(path, lambda f: f.truncate(path, size))
 
     # -- inspection ------------------------------------------------------------
 
@@ -201,6 +329,10 @@ class ClusterFS:
         if path == "/":
             merged = set()
             for shard in cluster.shards:
+                if not cluster.health.readable(shard.sid):
+                    # A FAILED shard's subtrees were (or are being)
+                    # evacuated; the survivors list them.
+                    continue
                 merged.update(cluster.lockstep(shard,
                                                lambda f: f.readdir("/")))
             merged.discard(_RESERVED_TOP)

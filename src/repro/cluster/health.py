@@ -1,0 +1,191 @@
+"""Per-shard health: the device state machine lifted to cluster scope.
+
+PR 5's :class:`~repro.resilience.health.HealthMonitor` tracks one
+device.  The cluster keeps one monitor *per shard* and classifies the
+errors its execution paths surface — taxonomy exceptions from lock-step
+facade calls, error strings from replayed disk-queue requests — into
+state transitions over the same monotonic machine::
+
+    HEALTHY --> DEGRADED --> READ_ONLY --> FAILED
+
+Classification (the budgets are :class:`ShardHealthPolicy` knobs):
+
+- :class:`~repro.errors.ReadOnlyFileSystem` — the shard's own stack
+  already demoted itself: mirror it as READ_ONLY.
+- :class:`~repro.errors.DeviceDegraded` / :class:`~repro.errors.
+  PowerLoss` — the device is gone: FAILED.
+- hard media-write failures — DEGRADED on the first, READ_ONLY once
+  ``max_write_faults`` have been seen (the write path cannot be
+  trusted; reads keep working, which is what makes evacuation
+  possible).
+- hard media-read failures — DEGRADED on the first, FAILED once
+  ``max_read_faults`` have been seen (a shard that cannot read cannot
+  even be evacuated).
+
+Every transition is mirrored into the cluster's metrics registry:
+``cluster.health.s<k>`` gauges hold the state ordinal and
+``cluster.health.transitions`` counts moves, so the chaos report and
+the observability stack read the same numbers.
+
+The monitors are *advisory* at cluster scope: they steer the router
+away from sick shards and gate evacuation; they do not block the
+underlying file systems, whose own health enforcement (the resilient
+device) stays where PR 5 put it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import (
+    DeviceDegraded,
+    MediaReadError,
+    MediaWriteError,
+    PowerLoss,
+    ReadOnlyFileSystem,
+    ReproError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.health import HealthMonitor, HealthState
+
+
+@dataclass(frozen=True)
+class ShardHealthPolicy:
+    """Failure budgets for shard-level demotion decisions."""
+
+    #: Hard write faults tolerated before the shard demotes READ_ONLY.
+    max_write_faults: int = 3
+    #: Hard read faults tolerated before the shard demotes FAILED.
+    max_read_faults: int = 3
+    #: Load multiple at which the utilization router spills new
+    #: placements onto a DEGRADED shard anyway (see
+    #: :class:`~repro.cluster.router.UtilizationRouter`).
+    degraded_pressure: float = 4.0
+
+
+@dataclass(frozen=True)
+class ClusterRetryPolicy:
+    """Bounded retry with deterministic SimClock backoff per cluster op.
+
+    ``backoff`` doubles per attempt; ``op_timeout`` bounds the total
+    *simulated* time one operation may spend including backoff, so a
+    sick shard cannot stall a client forever.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.004
+    op_timeout: float = 2.0
+
+    def delay(self, retries: int) -> float:
+        return self.backoff * (2 ** retries)
+
+
+class ClusterHealth:
+    """Per-shard :class:`HealthMonitor` bank with error classification."""
+
+    def __init__(self, n_shards: int, metrics: MetricsRegistry,
+                 now: Callable[[], float],
+                 policy: Optional[ShardHealthPolicy] = None) -> None:
+        self.policy = policy if policy is not None else ShardHealthPolicy()
+        self.metrics = metrics
+        self._now = now
+        self.monitors: List[HealthMonitor] = []
+        self._write_faults = [0] * n_shards
+        self._read_faults = [0] * n_shards
+        for sid in range(n_shards):
+            monitor = HealthMonitor()
+            monitor.on_transition = self._mirror(sid)
+            self.monitors.append(monitor)
+            metrics.gauge("cluster.health.s%d" % sid).set(
+                HealthState.HEALTHY.value)
+
+    def _mirror(self, sid: int):
+        def hook(change) -> None:
+            self.metrics.gauge("cluster.health.s%d" % sid).set(
+                change.state.value)
+            self.metrics.counter("cluster.health.transitions").inc()
+        return hook
+
+    # -- state queries ---------------------------------------------------------
+
+    def state(self, sid: int) -> HealthState:
+        return self.monitors[sid].state
+
+    def ordinal(self, sid: int) -> int:
+        """The state ordinal (0..3) — the router's health hook."""
+        return self.monitors[sid].state.value
+
+    def accepts(self, sid: int) -> bool:
+        """May new placements land on this shard?"""
+        return self.monitors[sid].state.value < HealthState.READ_ONLY.value
+
+    def writable(self, sid: int) -> bool:
+        return self.monitors[sid].state.value < HealthState.READ_ONLY.value
+
+    def readable(self, sid: int) -> bool:
+        return self.monitors[sid].state is not HealthState.FAILED
+
+    def log(self) -> List[Tuple[float, int, str, str, str]]:
+        """All transitions, ordered by (time, shard) — deterministic."""
+        rows = []
+        for sid, monitor in enumerate(self.monitors):
+            for t, prev, state, reason in monitor.summary():
+                rows.append((t, sid, prev, state, reason))
+        return sorted(rows, key=lambda r: (r[0], r[1]))
+
+    # -- transitions -----------------------------------------------------------
+
+    def mark(self, sid: int, state: HealthState, reason: str) -> bool:
+        """Explicit transition (fault injection, evacuation retirement)."""
+        return self.monitors[sid].transition(state, self._now(), reason)
+
+    def observe_exception(self, sid: int, exc: ReproError,
+                          op: str = "read") -> None:
+        """Classify a taxonomy exception raised by shard ``sid``."""
+        if isinstance(exc, (DeviceDegraded, PowerLoss)):
+            self.mark(sid, HealthState.FAILED, "%s: %s"
+                      % (type(exc).__name__, exc))
+        elif isinstance(exc, ReadOnlyFileSystem):
+            self.mark(sid, HealthState.READ_ONLY, "shard refused writes")
+        elif isinstance(exc, MediaWriteError):
+            self._count_fault(sid, "write")
+        elif isinstance(exc, MediaReadError):
+            self._count_fault(sid, "read")
+        else:
+            # TransientDiskError and anything else: charged to the
+            # path (read or write) that surfaced it.
+            self._count_fault(sid, op)
+
+    def observe_error(self, sid: int, error: str, op: str) -> None:
+        """Classify a replayed request's error string (op = read|write)."""
+        if "power" in error:
+            self.mark(sid, HealthState.FAILED, error)
+        else:
+            self._count_fault(sid, "write" if op == "write" else "read")
+
+    def _count_fault(self, sid: int, op: str) -> None:
+        if op == "write":
+            self._write_faults[sid] += 1
+            n = self._write_faults[sid]
+            self.mark(sid, HealthState.DEGRADED,
+                      "hard write fault (%d in budget)" % n)
+            if n >= self.policy.max_write_faults:
+                self.mark(sid, HealthState.READ_ONLY,
+                          "write fault budget exhausted (%d)" % n)
+        else:
+            self._read_faults[sid] += 1
+            n = self._read_faults[sid]
+            self.mark(sid, HealthState.DEGRADED,
+                      "hard read fault (%d in budget)" % n)
+            if n >= self.policy.max_read_faults:
+                self.mark(sid, HealthState.FAILED,
+                          "read fault budget exhausted (%d)" % n)
+
+
+__all__ = [
+    "ClusterHealth",
+    "ClusterRetryPolicy",
+    "HealthState",
+    "ShardHealthPolicy",
+]

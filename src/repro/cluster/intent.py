@@ -58,16 +58,14 @@ def intent_path(seq: int) -> str:
     return "%s/%s%06d" % (CLUSTER_DIR, INTENT_PREFIX, seq)
 
 
-def encode_intent(src_shard: int, src_path: str, dst_path: str) -> bytes:
-    """Serialize one rename intent (CRC-sealed, newline-framed)."""
-    body = "%s\nsrc_shard=%d\nsrc=%s\ndst=%s\n" % (
-        _INTENT_MAGIC, src_shard, src_path, dst_path)
+def seal(body: str) -> bytes:
+    """CRC-seal a newline-framed record body (shared record format)."""
     raw = body.encode("utf-8")
     return raw + ("crc=%08x\n" % zlib.crc32(raw)).encode("ascii")
 
 
-def parse_intent(data: bytes) -> Optional[Tuple[int, str, str]]:
-    """Decode an intent file; None when torn, garbled, or unsealed."""
+def unseal(data: bytes) -> Optional[str]:
+    """The body of a sealed record; None when torn or garbled."""
     try:
         text = data.decode("utf-8")
     except UnicodeDecodeError:
@@ -80,8 +78,19 @@ def parse_intent(data: bytes) -> Optional[Tuple[int, str, str]]:
             return None
     except ValueError:
         return None
+    return head
+
+
+def encode_intent(src_shard: int, src_path: str, dst_path: str) -> bytes:
+    """Serialize one rename intent (CRC-sealed, newline-framed)."""
+    return seal("%s\nsrc_shard=%d\nsrc=%s\ndst=%s\n" % (
+        _INTENT_MAGIC, src_shard, src_path, dst_path))
+
+
+def parse_fields(head: str, magic: str, n_lines: int) -> Optional[dict]:
+    """key=value fields of a sealed body under ``magic``; None if off."""
     lines = head.splitlines()
-    if len(lines) != 4 or lines[0] != _INTENT_MAGIC:
+    if len(lines) != n_lines or lines[0] != magic:
         return None
     fields = {}
     for line in lines[1:]:
@@ -89,6 +98,17 @@ def parse_intent(data: bytes) -> Optional[Tuple[int, str, str]]:
         if not sep:
             return None
         fields[key] = value
+    return fields
+
+
+def parse_intent(data: bytes) -> Optional[Tuple[int, str, str]]:
+    """Decode an intent file; None when torn, garbled, or unsealed."""
+    head = unseal(data)
+    if head is None:
+        return None
+    fields = parse_fields(head, _INTENT_MAGIC, 4)
+    if fields is None:
+        return None
     try:
         return int(fields["src_shard"]), fields["src"], fields["dst"]
     except (KeyError, ValueError):
@@ -144,9 +164,28 @@ def recover_shard_intents(dst_sid: int, filesystems) -> List[Tuple[int, str]]:
     dst_fs = filesystems[dst_sid]
     outcomes: List[Tuple[int, str]] = []
     touched = set()
+    # Pass 1: parse every surviving intent.  Destination paths claimed
+    # by a roll-forward (source gone => the rename committed) must keep
+    # their copy even when an *older* stale intent for the same path
+    # wants to roll back — deleting the copy then would lose the only
+    # remaining replica of the committed rename's file.
+    parsed_intents: List[Tuple[str, Optional[Tuple[int, str, str]]]] = []
+    claimed: set = set()
     for name in pending_intents(dst_fs):
         path = "%s/%s" % (CLUSTER_DIR, name)
         parsed = parse_intent(dst_fs.read_file(path))
+        parsed_intents.append((path, parsed))
+        if parsed is not None:
+            src_shard, src_path, dst_path = parsed
+            src_fs = filesystems.get(src_shard)
+            if src_fs is None:
+                raise ReproError(
+                    "intent %s names unknown source shard %d"
+                    % (name, src_shard))
+            if not src_fs.exists(src_path):
+                claimed.add(dst_path)
+    # Pass 2: apply the recovery rule, respecting roll-forward claims.
+    for path, parsed in parsed_intents:
         if parsed is None:
             # Torn intent: synced-before-copy means nothing else moved.
             dst_fs.unlink(path)
@@ -154,12 +193,8 @@ def recover_shard_intents(dst_sid: int, filesystems) -> List[Tuple[int, str]]:
             outcomes.append((-1, "discarded"))
             continue
         src_shard, src_path, dst_path = parsed
-        src_fs = filesystems.get(src_shard)
-        if src_fs is None:
-            raise ReproError(
-                "intent %s names unknown source shard %d" % (name, src_shard))
-        if src_fs.exists(src_path):
-            if dst_fs.exists(dst_path):
+        if filesystems[src_shard].exists(src_path):
+            if dst_path not in claimed and dst_fs.exists(dst_path):
                 dst_fs.unlink(dst_path)
             dst_fs.unlink(path)
             outcomes.append((src_shard, "rolled_back"))
@@ -179,7 +214,10 @@ __all__ = [
     "durable_write",
     "encode_intent",
     "intent_path",
+    "parse_fields",
     "parse_intent",
     "pending_intents",
     "recover_shard_intents",
+    "seal",
+    "unseal",
 ]

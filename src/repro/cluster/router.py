@@ -32,9 +32,9 @@ from __future__ import annotations
 
 import bisect
 import zlib
-from typing import Dict, List, Optional
+from typing import Callable, Dict, FrozenSet, List, Optional
 
-from repro.errors import InvalidArgument
+from repro.errors import DeviceDegraded, InvalidArgument
 
 ROUTER_KINDS = ("hash", "util")
 
@@ -50,8 +50,24 @@ DEFAULT_VNODES = 64
 ROUTE_CPU_SECONDS = 1.5e-6
 
 
+#: No shards excluded (the default for ``_pick``).
+_NO_EXCLUDE: FrozenSet[int] = frozenset()
+
+
 class Router:
-    """Base class: first-touch-sticky placement of top-level names."""
+    """Base class: first-touch-sticky placement of top-level names.
+
+    Health awareness: :meth:`set_health` wires a callable returning a
+    shard's :class:`~repro.resilience.health.HealthState` *ordinal*
+    (0 HEALTHY .. 3 FAILED).  New placements never land on READ_ONLY
+    or FAILED shards, prefer HEALTHY over DEGRADED, and raise
+    :class:`~repro.errors.DeviceDegraded` when no shard can accept.
+    *Existing* assignments stay sticky regardless of health — ownership
+    is recorded in the namespace itself, and moving it is evacuation's
+    job (:mod:`repro.cluster.evacuate`), not the router's.  Without a
+    health hook every shard reads as HEALTHY and placement is exactly
+    the pre-health behavior (pinned by the determinism tests).
+    """
 
     kind = "base"
 
@@ -60,6 +76,17 @@ class Router:
             raise InvalidArgument("need at least one shard, got %d" % n_shards)
         self.n_shards = n_shards
         self.assignments: Dict[str, int] = {}
+        self._health: Optional[Callable[[int], int]] = None
+        #: Placements diverted by health (the pick differed from what a
+        #: health-blind pick would have chosen).
+        self.skips = 0
+
+    def set_health(self, ordinal_of: Callable[[int], int]) -> None:
+        """Wire the per-shard health ordinal hook (None detaches)."""
+        self._health = ordinal_of
+
+    def _ordinal(self, sid: int) -> int:
+        return self._health(sid) if self._health is not None else 0
 
     def place(self, top: str) -> int:
         """The shard owning ``top``, assigning it on first touch."""
@@ -80,6 +107,20 @@ class Router:
                 "shard %d out of range for %d shards" % (sid, self.n_shards))
         self.assignments[top] = sid
 
+    def reassign(self, top: str, sid: int) -> None:
+        """Move an existing assignment (evacuation adoption update)."""
+        if not 0 <= sid < self.n_shards:
+            raise InvalidArgument(
+                "shard %d out of range for %d shards" % (sid, self.n_shards))
+        if self.assignments.get(top) != sid:
+            self.assignments[top] = sid
+            self._placed(sid)
+
+    def pick_spare(self, top: str, exclude=()) -> int:
+        """A health-eligible destination for ``top`` outside ``exclude``
+        (evacuation target selection; does not record an assignment)."""
+        return self._pick(top, frozenset(exclude))
+
     def probe(self, top: str) -> Optional[int]:
         """Where ``top`` lives, *without* placing it (None if unknown)."""
         return self.assignments.get(top)
@@ -87,7 +128,7 @@ class Router:
     def charge(self, sid: int, ops: int = 1) -> None:
         """Account ``ops`` routed operations against shard ``sid``."""
 
-    def _pick(self, top: str) -> int:
+    def _pick(self, top: str, exclude: FrozenSet[int] = _NO_EXCLUDE) -> int:
         raise NotImplementedError
 
 
@@ -109,15 +150,51 @@ class HashRouter(Router):
         self._points: List[int] = [point for point, _ in ring]
         self._owners: List[int] = [sid for _, sid in ring]
 
-    def _pick(self, top: str) -> int:
+    def _pick(self, top: str, exclude: FrozenSet[int] = _NO_EXCLUDE) -> int:
+        """Walk the ring from the name's hash point.
+
+        The first HEALTHY owner wins; a DEGRADED owner is remembered as
+        the fallback and used only when the whole walk finds no healthy
+        shard (for the ring there is no load signal, so "avoid DEGRADED
+        under pressure" degenerates to healthy-first).  READ_ONLY and
+        FAILED owners are skipped outright.
+        """
         h = zlib.crc32(top.encode("utf-8"))
         index = bisect.bisect_left(self._points, h) % len(self._points)
-        return self._owners[index]
+        first = self._owners[index]
+        fallback: Optional[int] = None
+        seen: set = set()
+        n = len(self._points)
+        for off in range(n):
+            sid = self._owners[(index + off) % n]
+            if sid in seen or sid in exclude:
+                continue
+            seen.add(sid)
+            ordinal = self._ordinal(sid)
+            if ordinal == 0:
+                if sid != first:
+                    self.skips += 1
+                return sid
+            if ordinal == 1 and fallback is None:
+                fallback = sid
+        if fallback is not None:
+            if fallback != first:
+                self.skips += 1
+            return fallback
+        raise DeviceDegraded(
+            "no shard can accept new placements (all READ_ONLY or FAILED)")
 
     def probe(self, top: str) -> Optional[int]:
         # Hash placement is a pure function of the name: probing is
         # exact even for names this router instance has never seen.
-        return self.assignments.get(top, self._pick(top))
+        sid = self.assignments.get(top)
+        if sid is not None:
+            return sid
+        # Probe with health-blind ring lookup: exists() must not report
+        # a phantom move just because the canonical owner is sick.
+        h = zlib.crc32(top.encode("utf-8"))
+        index = bisect.bisect_left(self._points, h) % len(self._points)
+        return self._owners[index]
 
 
 class UtilizationRouter(Router):
@@ -132,13 +209,45 @@ class UtilizationRouter(Router):
 
     kind = "util"
 
-    def __init__(self, n_shards: int) -> None:
+    def __init__(self, n_shards: int,
+                 degraded_pressure: float = 4.0) -> None:
         super().__init__(n_shards)
         self.load: List[int] = [0] * n_shards
+        #: Spill threshold: a DEGRADED shard receives a new placement
+        #: only when the least-loaded healthy shard carries more than
+        #: ``degraded_pressure`` times the degraded shard's load (+1,
+        #: so a completely idle cluster still prefers healthy shards).
+        self.degraded_pressure = degraded_pressure
 
-    def _pick(self, top: str) -> int:
-        least = min(self.load)
-        return self.load.index(least)   # lowest sid wins ties
+    def _pick(self, top: str, exclude: FrozenSet[int] = _NO_EXCLUDE) -> int:
+        def least(candidates: List[int]) -> int:
+            best = min(candidates, key=lambda s: (self.load[s], s))
+            return best   # lowest sid wins ties
+
+        usable = [s for s in range(self.n_shards)
+                  if s not in exclude and self._ordinal(s) < 2]
+        if not usable:
+            raise DeviceDegraded(
+                "no shard can accept new placements "
+                "(all READ_ONLY or FAILED)")
+        healthy = [s for s in usable if self._ordinal(s) == 0]
+        degraded = [s for s in usable if self._ordinal(s) == 1]
+        if healthy and degraded:
+            h, d = least(healthy), least(degraded)
+            # Avoid DEGRADED shards until the healthy ones are loaded
+            # past the pressure threshold.
+            if self.load[h] > self.degraded_pressure * (self.load[d] + 1):
+                choice = d
+            else:
+                choice = h
+        elif healthy:
+            choice = least(healthy)
+        else:
+            choice = least(degraded)
+        blind = least([s for s in range(self.n_shards) if s not in exclude])
+        if choice != blind:
+            self.skips += 1
+        return choice
 
     def adopt(self, top: str, sid: int) -> None:
         fresh = top not in self.assignments

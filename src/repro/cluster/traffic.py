@@ -35,6 +35,7 @@ from repro.cluster.core import Cluster, ClusterClient, ClusterOp
 from repro.cluster.router import ROUTE_CPU_SECONDS
 from repro.engine.report import PhaseReport, merge_queue_deltas, summarize_phase
 from repro.errors import InvalidArgument
+from repro.faults.schedule import FaultSchedule
 
 #: JSON summary schema identifier (bump on incompatible change).
 CLUSTER_SCHEMA = "repro-cluster/1"
@@ -58,6 +59,9 @@ class TrafficConfig:
     scheduler: str = "clook"
     router: str = "util"
     seed: int = 1997
+    #: Optional per-shard fault schedules (shard id -> schedule); the
+    #: named shards run behind the fault-injecting device proxy.
+    faults: Optional[Dict[int, FaultSchedule]] = None
 
     def validate(self) -> None:
         if self.clients < 1:
@@ -76,6 +80,12 @@ class TrafficConfig:
             raise InvalidArgument("rename fraction must be within [0, 1]")
         if self.read_fraction + self.rename_fraction > 1.0:
             raise InvalidArgument("read + rename fractions exceed 1")
+        if self.faults:
+            for sid in self.faults:
+                if not 0 <= sid < self.shards:
+                    raise InvalidArgument(
+                        "fault schedule names shard %d of %d"
+                        % (sid, self.shards))
 
 
 @dataclass
@@ -158,10 +168,14 @@ def _dir_name(rank: int) -> str:
     return "d%03d" % rank
 
 
-def _build_ops(cluster: Cluster, cfg: TrafficConfig, cid: int,
-               sampler: ZipfSampler, created: set,
-               written: List[str]) -> List[ClusterOp]:
-    """One client's op list (lazy resolvers; see module docstring)."""
+def build_client_ops(cluster: Cluster, cfg: TrafficConfig, cid: int,
+                     sampler: ZipfSampler, created: set,
+                     written: List[str]) -> List[ClusterOp]:
+    """One client's op list (lazy resolvers; see module docstring).
+
+    Public so the chaos harness (:mod:`repro.cluster.chaos`) replays
+    the *same* seeded traffic model around its fault storm.
+    """
     rng = random.Random(cfg.seed * 1000003 + cid)
     ops: List[ClusterOp] = []
 
@@ -269,13 +283,13 @@ def run_cluster_traffic(cfg: TrafficConfig,
     if cluster is None:
         cluster = Cluster(n_shards=cfg.shards, label=cfg.label,
                           policy=cfg.policy, scheduler=cfg.scheduler,
-                          router=cfg.router)
+                          router=cfg.router, faults=cfg.faults)
     sampler = ZipfSampler(cfg.dirs, cfg.zipf_theta)
     created: set = set()
     assignments: Dict[ClusterClient, List[ClusterOp]] = {}
     for cid in range(cfg.clients):
         client = cluster.add_client()
-        assignments[client] = _build_ops(
+        assignments[client] = build_client_ops(
             cluster, cfg, cid, sampler, created, written=[])
 
     queue_before = [shard.queue.stats.snapshot() for shard in cluster.shards]
@@ -474,6 +488,7 @@ __all__ = [
     "ShardBalance",
     "TrafficConfig",
     "ZipfSampler",
+    "build_client_ops",
     "cluster_summary",
     "render_cluster",
     "run_cluster_traffic",

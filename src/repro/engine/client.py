@@ -39,6 +39,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.engine.diskqueue import DiskQueue, QueuedRequest
 from repro.engine.eventloop import EventLoop
 from repro.errors import InvalidArgument
+from repro.faults.proxy import FaultyBlockDevice
 from repro.faults.schedule import FaultSchedule, RetryPolicy
 from repro.vfs.interface import FileSystem
 
@@ -291,7 +292,15 @@ class Engine:
                  metrics: Optional[MetricsRegistry] = None) -> None:
         self.fs = fs
         self.device = fs.cache.device
-        if not isinstance(self.device, BlockDevice):
+        # A fault-injecting proxy exposes the full capture surface
+        # (peek/poke, disk, clock); its faults fire at replay through
+        # the disk queue's schedule, never during capture.
+        if isinstance(self.device, FaultyBlockDevice):
+            if faults is None:
+                faults = self.device.schedule
+            if retry is None:
+                retry = self.device.retry
+        elif not isinstance(self.device, BlockDevice):
             raise InvalidArgument("engine needs a file system over a BlockDevice")
         self.loop = loop if loop is not None else EventLoop()
         self.metrics = metrics if metrics is not None else MetricsRegistry()

@@ -107,6 +107,14 @@ class FaultSchedule:
         #: have landed (None = never).
         self.power_cut_after_write = power_cut_after_write
         self._explicit: Dict[Tuple[str, int], FaultDecision] = {}
+        #: Every request of the kind at index >= the mark fails hard
+        #: (None = never).  Setting the mark to 0 mid-run breaks the
+        #: drive "from now on": past requests already consumed their
+        #: indices, so only future decisions are affected — the arming
+        #: primitive the cluster chaos harness uses to kill a shard
+        #: mid-traffic.
+        self.read_fail_from: Optional[int] = None
+        self.write_fail_from: Optional[int] = None
         #: Location-based media decay (see the module docstring).
         self.weak_read_blocks: Set[int] = set()
         self.bad_read_blocks: Set[int] = set()
@@ -129,6 +137,16 @@ class FaultSchedule:
         """Pin a fault onto the ``index``-th write request."""
         kind = TRANSIENT if transient else HARD
         self._explicit[("write", index)] = FaultDecision(kind, failures=failures)
+        return self
+
+    def fail_reads_from(self, index: int = 0) -> "FaultSchedule":
+        """Fail every read whose index is >= ``index``, forever."""
+        self.read_fail_from = index
+        return self
+
+    def fail_writes_from(self, index: int = 0) -> "FaultSchedule":
+        """Fail every write whose index is >= ``index``, forever."""
+        self.write_fail_from = index
         return self
 
     def tear_write(self, index: int, landed_blocks: int) -> "FaultSchedule":
@@ -182,6 +200,9 @@ class FaultSchedule:
         explicit = self._explicit.get((op, index))
         if explicit is not None:
             return explicit
+        mark = self.read_fail_from if op == "read" else self.write_fail_from
+        if mark is not None and index >= mark:
+            return FaultDecision(HARD)
         if not (self.transient_rate or self.hard_rate or self.torn_rate):
             return FaultDecision()
         rng = random.Random("faults:%d:%s:%d" % (self.seed, op, index))

@@ -72,10 +72,14 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
             "vfs", "workloads",
         }
     ),
+    # cluster may import faults (the chaos harness injects per-shard
+    # schedules) and resilience (per-shard health monitors), but the
+    # edge is one-way: resilience stays cluster-free, so the health
+    # machinery remains usable by a single stack.
     "cluster": frozenset(
         {
             "analysis", "blockdev", "cache", "core", "disk", "engine",
-            "resilience", "vfs", "workloads",
+            "faults", "resilience", "vfs", "workloads",
         }
     ),
     "lint": frozenset(),

@@ -400,3 +400,51 @@ class TestCrossShardRenameCrashSweep:
         outcomes = cluster.recover()
         assert outcomes == [(-1, "discarded")]
         assert fs.read_file("/src/f") == b"safe"
+
+
+class TestIntentRecoveryIdempotence:
+    def _two_tops(self):
+        cluster = Cluster(n_shards=2)
+        fs = cluster.fs
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        sid_a = cluster.router.assignments["a"]
+        sid_b = cluster.router.assignments["b"]
+        assert sid_a != sid_b
+        return cluster, sid_a, sid_b
+
+    def test_recovery_twice_is_a_no_op(self):
+        # A crash between the durable copy and the source unlink leaves
+        # a stale intent; the first recovery rolls it back, the second
+        # must find a converged cluster and do nothing.
+        cluster, sid_a, sid_b = self._two_tops()
+        cluster.fs.write_file("/a/x", b"authoritative")
+        dst = cluster.shards[sid_b].fs
+        dst.write_file("/b/x", b"partial copy")
+        dst.write_file("/.cluster/intent-000001",
+                       encode_intent(sid_a, "/a/x", "/b/x"))
+        assert cluster.recover() == [(sid_a, "rolled_back")]
+        assert not dst.exists("/b/x")
+        assert cluster.fs.read_file("/a/x") == b"authoritative"
+        assert cluster.recover() == []
+
+    def test_competing_stale_intents_keep_exactly_one_intact_copy(self):
+        # Two stale intents name the same destination path: an old one
+        # whose source still exists (wants roll-back) and a committed
+        # one whose source is gone (wants roll-forward).  The committed
+        # rename's claim on the destination must win — deleting the
+        # copy would lose the only remaining replica of its file.
+        cluster, sid_a, sid_b = self._two_tops()
+        cluster.fs.write_file("/a/x", b"old source")
+        dst = cluster.shards[sid_b].fs
+        dst.write_file("/b/x", b"committed copy")
+        dst.write_file("/.cluster/intent-000001",
+                       encode_intent(sid_a, "/a/x", "/b/x"))
+        dst.write_file("/.cluster/intent-000002",
+                       encode_intent(sid_a, "/a/gone", "/b/x"))
+        outcomes = cluster.recover()
+        assert sorted(outcomes) == [(sid_a, "rolled_back"),
+                                    (sid_a, "rolled_forward")]
+        assert dst.read_file("/b/x") == b"committed copy"
+        assert cluster.fs.read_file("/a/x") == b"old source"
+        assert cluster.recover() == []

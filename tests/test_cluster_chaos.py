@@ -1,0 +1,566 @@
+"""Cluster fault tolerance: health, routing, retry, evacuation, chaos.
+
+Five claims are pinned here:
+
+- **Health classification** — taxonomy exceptions and replayed error
+  strings drive the per-shard monotonic state machine exactly as the
+  budgets say, and every transition is mirrored into the cluster
+  metrics registry.
+- **Health-aware routing** — both routers keep new placements off
+  READ_ONLY/FAILED shards, prefer HEALTHY over DEGRADED, and are
+  byte-identical to the pre-health behavior when no hook is attached.
+- **Retry and redirect** — the facade absorbs transient shard faults
+  within the retry budget, annotates surfaced errors with their shard,
+  and turns writes against a demoted shard into an evacuate-and-
+  redirect instead of a hard failure.
+- **Evacuation crash safety** — the copy-then-adopt protocol, killed
+  at every landed media write, always recovers to exactly one intact
+  copy of every file, with the adopt record as the commit point.
+- **Chaos acceptance** — one shard of four killed mid-Zipf-storm:
+  the survivors clear the availability floor, every evacuated byte
+  CRC-verifies through the facade, nothing is stranded, and the whole
+  report is byte-identical across identically-seeded runs.
+"""
+
+import json
+
+import pytest
+
+from repro.blockdev.device import BlockDevice
+from repro.cache.policy import MetadataPolicy
+from repro.cluster import (
+    ChaosConfig,
+    Cluster,
+    ClusterHealth,
+    ClusterRetryPolicy,
+    HashRouter,
+    HealthState,
+    ShardHealthPolicy,
+    TrafficConfig,
+    UtilizationRouter,
+    adopted_tops,
+    chaos_summary,
+    parse_fault_spec,
+    render_chaos,
+    run_cluster_chaos,
+    validate_chaos_summary,
+)
+from repro.core.filesystem import CFFS, CFFSConfig
+from repro.errors import (
+    DeviceDegraded,
+    FileNotFound,
+    InvalidArgument,
+    MediaWriteError,
+    PowerLoss,
+    ReadOnlyFileSystem,
+    TransientDiskError,
+)
+from repro.faults.proxy import FaultyBlockDevice
+from repro.faults.schedule import FaultSchedule
+from repro.fsck import fsck_cffs
+from repro.obs.metrics import MetricsRegistry
+from tests.conftest import TEST_PROFILE
+
+CHAOS_SMALL = dict(clients=80, ops_per_client=3, dirs=24, file_size=8192)
+
+
+def make_health(n_shards=2, policy=None):
+    metrics = MetricsRegistry()
+    return ClusterHealth(n_shards, metrics, lambda: 0.0, policy=policy), metrics
+
+
+# -- health classification -------------------------------------------------------
+
+
+class TestShardHealth:
+    def test_device_gone_exceptions_fail_the_shard(self):
+        for exc in (DeviceDegraded("dead"), PowerLoss("cut")):
+            health, _ = make_health()
+            health.observe_exception(0, exc)
+            assert health.state(0) is HealthState.FAILED
+            assert not health.readable(0)
+            assert health.state(1) is HealthState.HEALTHY
+
+    def test_read_only_exception_mirrors_the_shard_demotion(self):
+        health, _ = make_health()
+        health.observe_exception(0, ReadOnlyFileSystem("fs refused"))
+        assert health.state(0) is HealthState.READ_ONLY
+        assert health.readable(0) and not health.writable(0)
+
+    def test_write_fault_budget_degrades_then_demotes_read_only(self):
+        health, _ = make_health(policy=ShardHealthPolicy(max_write_faults=3))
+        for _ in range(2):
+            health.observe_exception(0, MediaWriteError("hard"))
+            assert health.state(0) is HealthState.DEGRADED
+        health.observe_exception(0, MediaWriteError("hard"))
+        assert health.state(0) is HealthState.READ_ONLY
+        assert health.readable(0)   # evacuation stays possible
+
+    def test_read_fault_budget_fails_the_shard(self):
+        health, _ = make_health(policy=ShardHealthPolicy(max_read_faults=2))
+        health.observe_error(0, "hard read error at block 7", op="read")
+        assert health.state(0) is HealthState.DEGRADED
+        health.observe_error(0, "hard read error at block 9", op="read")
+        assert health.state(0) is HealthState.FAILED
+
+    def test_transient_faults_charge_the_surfacing_path(self):
+        health, _ = make_health(policy=ShardHealthPolicy(max_write_faults=1))
+        health.observe_exception(0, TransientDiskError("blip"), op="write")
+        assert health.state(0) is HealthState.READ_ONLY
+
+    def test_power_error_string_fails_regardless_of_path(self):
+        health, _ = make_health()
+        health.observe_error(1, "power loss mid-write", op="write")
+        assert health.state(1) is HealthState.FAILED
+
+    def test_states_are_monotonic(self):
+        health, _ = make_health()
+        assert health.mark(0, HealthState.FAILED, "dead")
+        assert not health.mark(0, HealthState.DEGRADED, "trying to heal")
+        assert health.state(0) is HealthState.FAILED
+
+    def test_transitions_mirror_into_gauges_and_counter(self):
+        health, metrics = make_health()
+        assert metrics.gauge("cluster.health.s0").value == 0
+        health.mark(0, HealthState.READ_ONLY, "demoted")
+        health.mark(1, HealthState.DEGRADED, "wobbly")
+        assert metrics.gauge("cluster.health.s0").value == \
+            HealthState.READ_ONLY.value
+        assert metrics.gauge("cluster.health.s1").value == \
+            HealthState.DEGRADED.value
+        assert metrics.counter("cluster.health.transitions").value == 2
+
+    def test_log_merges_shards_in_time_order(self):
+        metrics = MetricsRegistry()
+        clock = [0.0]
+        health = ClusterHealth(2, metrics, lambda: clock[0])
+        clock[0] = 1.0
+        health.mark(1, HealthState.DEGRADED, "first")
+        clock[0] = 2.0
+        health.mark(0, HealthState.FAILED, "second")
+        log = health.log()
+        assert [(t, sid) for t, sid, *_ in log] == [(1.0, 1), (2.0, 0)]
+        assert log[1][2:] == ("HEALTHY", "FAILED", "second")
+
+
+# -- health-aware routing --------------------------------------------------------
+
+
+class TestHealthAwareRouting:
+    def test_no_hook_is_byte_identical_to_healthy_hook(self):
+        names = ["d%03d" % i for i in range(100)]
+        for kind in (HashRouter, UtilizationRouter):
+            blind, hooked = kind(4), kind(4)
+            hooked.set_health(lambda sid: 0)
+            assert [blind.place(n) for n in names] == \
+                [hooked.place(n) for n in names]
+            assert hooked.skips == 0
+
+    def test_hash_ring_walks_past_sick_canonical_owners(self):
+        router = HashRouter(4)
+        victim = router.probe("newdir")   # canonical ring owner
+        states = {victim: HealthState.READ_ONLY.value}
+        router.set_health(lambda sid: states.get(sid, 0))
+        owner = router.place("newdir")
+        assert owner != victim
+        assert router.skips == 1
+        # sticky: healing the victim does not move the assignment
+        states.clear()
+        assert router.place("newdir") == owner
+
+    def test_hash_falls_back_to_degraded_when_nothing_healthy(self):
+        router = HashRouter(2)
+        victim = router.probe("x")
+        other = 1 - victim
+        states = {victim: 1, other: 3}   # DEGRADED vs FAILED
+        router.set_health(lambda sid: states[sid])
+        assert router.place("x") == victim
+
+    def test_routers_raise_when_no_shard_accepts(self):
+        for kind in (HashRouter, UtilizationRouter):
+            router = kind(2)
+            router.set_health(lambda sid: 3)
+            with pytest.raises(DeviceDegraded):
+                router.place("doomed")
+
+    def test_util_router_excludes_read_only_shards(self):
+        router = UtilizationRouter(2)
+        states = {0: HealthState.READ_ONLY.value, 1: 0}
+        router.set_health(lambda sid: states[sid])
+        assert all(router.place("d%d" % i) == 1 for i in range(4))
+        assert router.skips > 0
+
+    def test_util_router_spills_to_degraded_only_under_pressure(self):
+        router = UtilizationRouter(2, degraded_pressure=4.0)
+        states = {0: 0, 1: 1}   # shard 1 is DEGRADED
+        router.set_health(lambda sid: states[sid])
+        assert router.place("a") == 0   # idle cluster: healthy wins
+        router.charge(0, ops=100)       # now load[0] > 4 * (load[1] + 1)
+        assert router.place("b") == 1
+
+    def test_pick_spare_respects_exclusion_and_health(self):
+        router = UtilizationRouter(3)
+        states = {0: 0, 1: 0, 2: HealthState.FAILED.value}
+        router.set_health(lambda sid: states[sid])
+        assert router.pick_spare("top", exclude=(0,)) == 1
+        with pytest.raises(DeviceDegraded):
+            router.pick_spare("top", exclude=(0, 1))
+
+    def test_reassign_moves_an_assignment_and_counts_load(self):
+        router = UtilizationRouter(2)
+        assert router.place("a") == 0
+        router.reassign("a", 1)
+        assert router.assignments["a"] == 1
+        assert router.load[1] >= 1
+        with pytest.raises(InvalidArgument):
+            router.reassign("a", 9)
+
+
+# -- facade retry and redirect ---------------------------------------------------
+
+
+def faulty_cluster(**kwargs):
+    schedule = FaultSchedule()
+    cluster = Cluster(n_shards=2, faults={0: schedule}, **kwargs)
+    fs = cluster.fs
+    fs.mkdir("/a")                       # util router: lands on shard 0
+    fs.write_file("/a/f", b"x" * 8192)
+    fs.sync()
+    assert cluster.router.assignments["a"] == 0
+    return cluster, schedule
+
+
+class TestFacadeRetryAndRedirect:
+    def test_retry_absorbs_a_hard_fault_within_budget(self):
+        cluster, schedule = faulty_cluster()
+        schedule.fail_writes_from(0)
+        cluster.fs.write_file("/a/g", b"y" * 4096)   # no exception
+        snap = cluster.metrics.snapshot()
+        assert snap["cluster.retry.attempts"] >= 1
+        assert snap["cluster.retry.absorbed"] >= 1
+        assert snap.get("cluster.retry.exhausted", 0) == 0
+        assert cluster.health.state(0) is HealthState.DEGRADED
+        assert cluster.fs.read_file("/a/g") == b"y" * 4096
+
+    def test_backoff_spends_simulated_time(self):
+        cluster, schedule = faulty_cluster()
+        schedule.fail_writes_from(0)
+        before = cluster.now
+        cluster.fs.write_file("/a/g", b"y" * 4096)
+        assert cluster.now - before >= cluster.retry.delay(0)
+
+    def test_exhaustion_against_a_demoted_shard_redirects(self):
+        # One hard fault both exhausts the retry budget and demotes the
+        # shard READ_ONLY, so the surfaced error must convert into an
+        # evacuate-and-redirect rather than reaching the caller.
+        cluster, schedule = faulty_cluster(
+            retry=ClusterRetryPolicy(max_attempts=1),
+            health_policy=ShardHealthPolicy(max_write_faults=1))
+        schedule.fail_writes_from(0)
+        cluster.fs.write_file("/a/g", b"y" * 8192)
+        assert cluster.router.assignments["a"] == 1
+        assert cluster.health.state(0) is HealthState.READ_ONLY
+        snap = cluster.metrics.snapshot()
+        assert snap["cluster.retry.exhausted"] == 1
+        assert snap["cluster.retry.redirects"] == 1
+        # both the pre-fault file and the redirected write are readable
+        assert cluster.fs.read_file("/a/f") == b"x" * 8192
+        assert cluster.fs.read_file("/a/g") == b"y" * 8192
+        assert adopted_tops(cluster.shards[1].fs) == {"a": 0}
+
+    def test_writes_against_a_read_only_shard_redirect(self):
+        cluster, _ = faulty_cluster()
+        cluster.health.mark(0, HealthState.READ_ONLY, "operator demotion")
+        cluster.fs.write_file("/a/g", b"moved" * 100)
+        assert cluster.router.assignments["a"] == 1
+        assert cluster.metrics.snapshot()["cluster.retry.redirects"] == 1
+        assert cluster.fs.read_file("/a/f") == b"x" * 8192
+        assert cluster.fs.read_file("/a/g") == b"moved" * 100
+
+    def test_new_top_on_a_read_only_shard_routes_elsewhere(self):
+        cluster, _ = faulty_cluster()
+        cluster.health.mark(0, HealthState.READ_ONLY, "demoted")
+        cluster.fs.mkdir("/b")
+        assert cluster.router.assignments["b"] == 1
+
+    def test_descriptor_writes_surface_the_demotion_with_context(self):
+        cluster, _ = faulty_cluster()
+        fd = cluster.fs.open("/a/f")
+        cluster.health.mark(0, HealthState.READ_ONLY, "demoted")
+        with pytest.raises(ReadOnlyFileSystem) as info:
+            cluster.fs.write(fd, b"z")
+        assert info.value.shard == 0
+        assert str(info.value).startswith("s0: ")
+
+    def test_errors_carry_their_shard_context(self):
+        cluster, _ = faulty_cluster()
+        with pytest.raises(FileNotFound) as info:
+            cluster.fs.read_file("/a/ghost")
+        assert info.value.shard == 0
+        assert str(info.value).startswith("s0: ")
+
+    def test_root_listing_hides_failed_shards(self):
+        cluster, _ = faulty_cluster()
+        cluster.fs.mkdir("/b")   # lands on shard 1
+        cluster.health.mark(0, HealthState.FAILED, "gone")
+        assert cluster.fs.readdir("/") == ["b"]
+
+    def test_backoff_refuses_while_events_are_pending(self):
+        cluster, _ = faulty_cluster()
+        cluster.loop.call_later(1.0, lambda: None)
+        with pytest.raises(InvalidArgument):
+            cluster.backoff(0.5)
+
+
+# -- evacuation ------------------------------------------------------------------
+
+
+def populated_pair():
+    cluster = Cluster(n_shards=2)
+    fs = cluster.fs
+    fs.mkdir("/a")
+    fs.mkdir("/a/deep")
+    fs.write_file("/a/one", b"alpha" * 400)
+    fs.write_file("/a/deep/two", b"beta" * 900)
+    fs.sync()
+    assert cluster.router.assignments["a"] == 0
+    return cluster
+
+
+class TestEvacuation:
+    def test_evacuate_moves_every_byte_and_retires_the_shard(self):
+        cluster = populated_pair()
+        cluster.health.mark(0, HealthState.READ_ONLY, "demoted")
+        reports = cluster.evacuate(0)
+        assert [(r.top, r.src, r.dst) for r in reports] == [("a", 0, 1)]
+        assert reports[0].files == 2
+        assert cluster.router.assignments["a"] == 1
+        assert cluster.health.state(0) is HealthState.FAILED
+        dst = cluster.shards[1].fs
+        assert dst.read_file("/a/one") == b"alpha" * 400
+        assert dst.read_file("/a/deep/two") == b"beta" * 900
+        assert adopted_tops(dst) == {"a": 0}
+        snap = cluster.metrics.snapshot()
+        assert snap["cluster.evac.subtrees"] == 1
+        assert snap["cluster.evac.files"] == 2
+        assert snap["cluster.evac.bytes"] == 400 * 5 + 900 * 4
+
+    def test_facade_reads_find_the_adopted_copy(self):
+        cluster = populated_pair()
+        cluster.health.mark(0, HealthState.READ_ONLY, "demoted")
+        cluster.evacuate(0)
+        assert cluster.fs.read_file("/a/deep/two") == b"beta" * 900
+        assert cluster.fs.readdir("/a") == ["deep", "one"]
+
+    def test_recovery_clears_the_stale_source_copy(self):
+        cluster = populated_pair()
+        cluster.health.mark(0, HealthState.READ_ONLY, "demoted")
+        cluster.evacuate(0)
+        src = cluster.shards[0].fs
+        assert src.exists("/a/one")   # read-only source kept its copy
+        outcomes = cluster.recover()
+        assert (0, "evac_source_cleared") in outcomes
+        assert not src.exists("/a")
+        assert adopted_tops(cluster.shards[1].fs) == {}
+        assert cluster.recover() == []   # idempotent
+
+    def test_rebuild_prefers_the_adopt_record_over_the_stale_source(self):
+        cluster = populated_pair()
+        cluster.health.mark(0, HealthState.READ_ONLY, "demoted")
+        cluster.evacuate(0)
+        # Before recovery both shards list /a; the adopt record on the
+        # destination must break the tie toward the adopter.
+        reborn = Cluster(
+            filesystems=[shard.fs for shard in cluster.shards],
+            router="util")
+        assert reborn.rebuild_assignments()["a"] == 1
+
+    def test_evacuate_unhealthy_drains_only_read_only_shards(self):
+        cluster = populated_pair()
+        assert cluster.evacuate_unhealthy() == []   # everything healthy
+        cluster.health.mark(0, HealthState.READ_ONLY, "demoted")
+        reports = cluster.evacuate_unhealthy()
+        assert [r.top for r in reports] == ["a"]
+        assert cluster.health.state(0) is HealthState.FAILED
+
+
+# -- evacuation crash-point sweep ------------------------------------------------
+
+
+def _sharded_pair():
+    """Two CFFS shards on journaling fault proxies, under one cluster."""
+    filesystems = []
+    devices = []
+    for _ in range(2):
+        device = FaultyBlockDevice(BlockDevice(TEST_PROFILE),
+                                   record_journal=True)
+        config = CFFSConfig(blocks_per_cg=512, cache_blocks=512,
+                            policy=MetadataPolicy.SYNC_METADATA)
+        filesystems.append(CFFS.mkfs(device, config))
+        devices.append(device)
+    cluster = Cluster(filesystems=filesystems, router="util")
+    return cluster, devices
+
+
+class TestEvacuationCrashSweep:
+    def test_every_media_write_boundary_keeps_exactly_one_copy(self):
+        cluster, devices = _sharded_pair()
+        fs = cluster.fs
+        payloads = {"/a/one": b"survivor" * 600, "/a/two": b"also" * 250}
+        fs.mkdir("/a")
+        for path, data in sorted(payloads.items()):
+            fs.write_file(path, data)
+        fs.sync()
+        assert cluster.router.assignments["a"] == 0
+
+        base = [len(dev.journal) for dev in devices]
+        order = []
+        for sid, dev in enumerate(devices):
+            dev.on_media_write = (
+                lambda bno, data, sid=sid: order.append(sid))
+
+        cluster.health.mark(0, HealthState.READ_ONLY, "demoted")
+        cluster.evacuate(0)
+        fs.sync()
+        for dev in devices:
+            dev.on_media_write = None
+        assert len(order) > 0
+        # Every copy and record lands on the destination; the source
+        # sees at most metadata touches from its read path.
+        assert 1 in set(order)
+
+        outcomes = set()
+        for k in range(len(order) + 1):
+            prefix = order[:k]
+            images = [dev.image_at(base[sid] + prefix.count(sid))
+                      for sid, dev in enumerate(devices)]
+            mounted = []
+            for image in images:
+                fsck_cffs(image, repair=True)
+                report = fsck_cffs(image)
+                assert report.pristine, (
+                    "crash point %d unrepairable: %s"
+                    % (k, "; ".join(report.errors + report.repairs)))
+                mounted.append(CFFS.mount(image))
+            recovered = Cluster(filesystems=mounted, router="util")
+            for _, action in recovered.recover():
+                outcomes.add(action)
+            src_has = mounted[0].exists("/a")
+            dst_has = mounted[1].exists("/a")
+            assert src_has != dst_has, (
+                "crash point %d/%d: subtree on %s"
+                % (k, len(order),
+                   "both shards" if src_has else "neither shard"))
+            survivor = mounted[0] if src_has else mounted[1]
+            for path, data in sorted(payloads.items()):
+                assert survivor.read_file(path) == data, (
+                    "crash point %d: %s corrupt on the surviving shard"
+                    % (k, path))
+            assert recovered.rebuild_assignments()["a"] == (0 if src_has
+                                                            else 1)
+            # Recovery converged: a second run is a no-op.
+            assert recovered.recover() == []
+        # The sweep crossed the adopt commit point: both directions.
+        assert "evac_rolled_back" in outcomes
+        assert "evac_rolled_forward" in outcomes
+        assert "evac_source_cleared" in outcomes
+
+
+# -- the chaos harness -----------------------------------------------------------
+
+
+def chaos_config(**overrides):
+    traffic = TrafficConfig(shards=4, seed=2026, **CHAOS_SMALL)
+    kwargs = dict(traffic=traffic, fail_shard=1)
+    kwargs.update(overrides)
+    return ChaosConfig(**kwargs)
+
+
+class TestChaosHarness:
+    def test_write_storm_acceptance(self):
+        result = run_cluster_chaos(chaos_config())
+        assert result.verdict() == "PASS"
+        assert result.final_states[1] == "FAILED"
+        assert result.surviving_availability >= 0.95
+        assert result.evacuated, "the victim never owned a subtree"
+        assert result.verified_files == sum(r.files for r in result.evacuated)
+        assert result.crc_mismatches == []
+        assert result.stranded == 0
+        # the victim demoted mid-run, not at the end
+        assert any(sid == 1 and state == "READ_ONLY"
+                   for _, sid, _, state, _ in result.health_log)
+
+    def test_reports_are_byte_identical_across_runs(self):
+        a = run_cluster_chaos(chaos_config())
+        b = run_cluster_chaos(chaos_config())
+        assert render_chaos(a) == render_chaos(b)
+        assert (json.dumps(chaos_summary(a), sort_keys=True)
+                == json.dumps(chaos_summary(b), sort_keys=True))
+
+    def test_read_storm_is_absorbed_by_the_cache(self):
+        # Warm data is cache-resident, so a read-storm at this scale
+        # never surfaces a device read — the shard survives untouched.
+        result = run_cluster_chaos(chaos_config(fail_op="read"))
+        assert result.verdict() == "PASS"
+        assert result.stranded == 0
+
+    def test_summary_schema_is_valid_and_validator_bites(self):
+        doc = chaos_summary(run_cluster_chaos(chaos_config()))
+        assert validate_chaos_summary(doc) == []
+        assert validate_chaos_summary({}) != []
+        for mutate, fragment in [
+            (lambda d: d.update(schema="repro-cluster-chaos/0"), "schema"),
+            (lambda d: d.pop("evacuation"), "evacuation"),
+            (lambda d: d.update(verdict="MAYBE"), "verdict"),
+            (lambda d: d["availability"].update(surviving=1.5),
+             "surviving"),
+            (lambda d: d["evacuation"].update(files="many"),
+             "evacuation.files"),
+            (lambda d: d["health"].update(final=[]), "health.final"),
+        ]:
+            bad = json.loads(json.dumps(doc))
+            mutate(bad)
+            problems = validate_chaos_summary(bad)
+            assert any(fragment in p for p in problems), (fragment, problems)
+
+    def test_invalid_configs_are_rejected(self):
+        with pytest.raises(InvalidArgument):
+            run_cluster_chaos(chaos_config(fail_shard=7))
+        with pytest.raises(InvalidArgument):
+            run_cluster_chaos(chaos_config(fail_op="meteor"))
+        with pytest.raises(InvalidArgument):
+            run_cluster_chaos(chaos_config(warm_fraction=1.0))
+        with pytest.raises(InvalidArgument):
+            run_cluster_chaos(chaos_config(availability_floor=1.5))
+        with pytest.raises(InvalidArgument):
+            run_cluster_chaos(ChaosConfig(
+                traffic=TrafficConfig(shards=1, **CHAOS_SMALL),
+                fail_shard=0))
+
+
+# -- fault spec parsing ----------------------------------------------------------
+
+
+class TestParseFaultSpec:
+    def test_parses_marks_rates_and_multiple_shards(self):
+        out = parse_fault_spec(
+            "1:write_fail_from=0;0:transient_rate=0.05,seed=7;"
+            "2:read_fail_from=3", shards=4)
+        assert sorted(out) == [0, 1, 2]
+        assert out[1].write_fail_from == 0
+        assert out[2].read_fail_from == 3
+        assert out[0].write_fail_from is None
+
+    def test_rejected_specs(self):
+        for spec in [
+            "",                          # empty
+            "x:seed=1",                  # non-integer shard id
+            "9:seed=1",                  # shard out of range
+            "0:seed=1;0:seed=2",         # repeated shard
+            "0:seed",                    # missing =
+            "0:flux_capacitor=1",        # unknown key
+            "0:transient_rate=lots",     # bad value
+            "0:transient_rate=7.0",      # FaultSchedule rejects rate > 1
+        ]:
+            with pytest.raises(InvalidArgument):
+                parse_fault_spec(spec, shards=2)

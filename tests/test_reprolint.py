@@ -347,6 +347,45 @@ def test_e001_classes_inside_errors_module_allowed():
     assert result.ok
 
 
+def test_e001_shard_context_annotation_idiom_is_clean():
+    # The cluster facade's error-mapping idiom: catch a taxonomy tuple,
+    # stamp shard context onto the exception, re-raise it unchanged.
+    # E001 must accept it — the taxonomy type survives, only the
+    # message and the ``shard`` attribute gain context.
+    result = lint_sources({
+        "src/repro/cluster/facade.py": (
+            "from repro.errors import MediaWriteError, ReproError\n\n"
+            "def shard_call(shard, fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except MediaWriteError as exc:\n"
+            "        exc.shard = shard.sid\n"
+            "        exc.args = ('s%d: %s' % (shard.sid, exc),)\n"
+            "        raise\n"
+            "    except ReproError as exc:\n"
+            "        exc.shard = shard.sid\n"
+            "        raise exc\n"
+        ),
+    })
+    assert result.ok
+
+
+def test_e001_swallowing_a_taxonomy_tuple_still_needs_narrow_types():
+    # Widening the same idiom's catch to Exception must still trip.
+    result = lint_sources({
+        "src/repro/cluster/facade.py": (
+            "def shard_call(shard, fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except Exception as exc:\n"
+            "        exc.shard = shard.sid\n"
+            "        raise\n"
+        ),
+    })
+    findings = [f for f in result.unsuppressed if f.rule == "E001"]
+    assert len(findings) == 1
+
+
 # -- F001 struct formats ------------------------------------------------------
 
 
